@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each paper table/figure has one benchmark that regenerates it in quick
+mode (see DESIGN.md's per-experiment index).  Experiment artifacts are
+heavyweight, so every benchmark runs its payload exactly once via
+``benchmark.pedantic`` — the timing is the cost of reproducing the
+artifact, and the assertions inside each benchmark verify the paper's
+shape claims on the regenerated data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,55 @@
+"""Benchmarks regenerating the Section-3 analytic figures: 9, 10, 12–15."""
+
+from repro.experiments import run
+
+
+def test_figure9(run_once):
+    """Figure 9: analytic NOW vs nodes and sampling period."""
+    fig = run_once(run, "figure9", quick=True)
+    lat = fig.find("(b) vs sampling period, n=8 — Monitoring latency")
+    # Latency near 3.4e-4 s at T = 40 ms for CF (paper's value).
+    idx = lat.x.index(32.0)
+    assert 2e-4 < lat.series["CF"][idx] < 5e-4
+
+
+def test_figure10(run_once):
+    """Figure 10: analytic NOW vs batch size — utilization ∝ 1/b."""
+    fig = run_once(run, "figure10", quick=True)
+    panel = fig.find("Pd CPU utilization/node")
+    ys = panel.series["T=40ms"]
+    assert ys[0] / ys[-1] == 128.0 / 1.0
+
+
+def test_figure12(run_once):
+    """Figure 12: analytic SMP vs period with 1–4 daemons."""
+    fig = run_once(run, "figure12", quick=True)
+    panel = fig.find("(CF) IS CPU utilization/node")
+    # More daemons -> higher IS utilization under the §3.2 λ definition.
+    assert panel.series["4 Pds"][0] > panel.series["1 Pd"][0]
+
+
+def test_figure13(run_once):
+    """Figure 13: analytic SMP vs application processes."""
+    fig = run_once(run, "figure13", quick=True)
+    panel = fig.find("(CF) IS CPU utilization/node")
+    ys = panel.series["1 Pd"]
+    assert all(a <= b for a, b in zip(ys, ys[1:]))  # grows with apps
+
+
+def test_figure14(run_once):
+    """Figure 14: analytic MPP vs period, direct vs tree."""
+    fig = run_once(run, "figure14", quick=True)
+    panel = fig.find("Pd CPU utilization/node")
+    assert all(
+        t > d for d, t in zip(panel.series["direct"], panel.series["tree"])
+    )
+
+
+def test_figure15(run_once):
+    """Figure 15: analytic MPP vs node count, direct vs tree."""
+    fig = run_once(run, "figure15", quick=True)
+    panel = fig.find("Monitoring latency")
+    # Latency under tree includes merge demand: strictly higher.
+    assert all(
+        t > d for d, t in zip(panel.series["direct"], panel.series["tree"])
+    )

@@ -1,0 +1,24 @@
+"""Benchmarks for the extension artifacts (adaptive, perturbation,
+cross-validation) — every registered experiment has a bench target."""
+
+from repro.experiments import run
+
+
+def test_extra_adaptive(run_once):
+    fig = run_once(run, "extra_adaptive", quick=True)
+    table = fig.find("static vs regulated")
+    settled = table.column("settled_overhead_pct")
+    assert settled[0] > 15.0 and settled[1] < 1.5 and settled[2] < 1.5
+
+
+def test_extra_perturbation(run_once):
+    table = run_once(run, "extra_perturbation", quick=True)
+    slowdowns = table.column("slowdown_pct")
+    assert max(slowdowns) > 30.0
+    assert min(slowdowns) < 2.0
+
+
+def test_extra_crossvalidation(run_once):
+    table = run_once(run, "extra_crossvalidation", quick=True)
+    for err in table.column("util_error_pct"):
+        assert err < 8.0

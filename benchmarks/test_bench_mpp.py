@@ -1,0 +1,62 @@
+"""Benchmarks regenerating the MPP simulation artifacts: Table 6,
+Figures 25–28."""
+
+from repro.experiments import run
+
+
+def test_table6(run_once):
+    """Table 6: the 2^4·r MPP factorial (direct vs tree)."""
+    table = run_once(run, "table6", quick=True)
+    assert len(table.rows) == 16
+    assert set(table.column("forwarding")) == {"direct", "tree"}
+
+
+def test_figure25(run_once):
+    """Figure 25: sampling period then policy dominate Pd CPU time."""
+    fig = run_once(run, "figure25", quick=True)
+    table = fig.find("Pd CPU time")
+    rows = dict(zip(table.column("effect"), table.column("percent")))
+    ordered = sorted(rows, key=rows.get, reverse=True)
+    assert ordered[0] == "B"
+    assert "C" in ordered[:3]
+
+
+def test_figure26(run_once):
+    """Figure 26: overhead/latency trade-off at scale."""
+    fig = run_once(run, "figure26", quick=True)
+    pd = fig.find("Pd CPU utilization/node")
+    assert all(
+        b < c for c, b in zip(pd.series["CF direct"], pd.series["BF direct"])
+    )
+    lat = fig.find("Monitoring latency")
+    # BF total latency far above CF (batch accumulation): the trade-off.
+    assert all(
+        b > c for c, b in zip(lat.series["CF direct"], lat.series["BF direct"])
+    )
+    # Tree vs direct does not change latency materially (§4.4.2).
+    for t, d in zip(lat.series["BF tree"], lat.series["BF direct"]):
+        assert abs(t - d) < 0.3 * d + 1e-9
+
+
+def test_figure27(run_once):
+    """Figure 27: tree forwarding costs daemon CPU, latency unchanged."""
+    fig = run_once(run, "figure27", quick=True)
+    pd = fig.find("Pd CPU utilization/node")
+    assert all(
+        t > d * 0.99 for d, t in zip(pd.series["direct"], pd.series["tree"])
+    )
+    # With per-sample collection costs included, the merge work adds a
+    # modest (not 2x) increment per node at batch 32 — the analytic
+    # Figure 15 benchmark covers the collection-free 2x limit.
+    assert pd.series["tree"][-1] > 1.03 * pd.series["direct"][-1]
+
+
+def test_figure28(run_once):
+    """Figure 28: frequent barriers idle the app, raising the daemon's
+    share of busy CPU."""
+    fig = run_once(run, "figure28", quick=True)
+    app = fig.find("Appl. CPU utilization/node")
+    ys = app.series["BF"]
+    assert ys[0] < ys[-1]  # more frequent barriers -> less app CPU
+    share = fig.find("Pd share of busy CPU time")
+    assert share.series["BF"][0] > share.series["BF"][-1]

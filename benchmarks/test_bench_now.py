@@ -1,0 +1,68 @@
+"""Benchmarks regenerating the NOW simulation artifacts: Table 4,
+Figures 16–19."""
+
+from repro.experiments import run
+
+
+def test_table4(run_once):
+    """Table 4: the 2^4·r NOW factorial."""
+    table = run_once(run, "table4", quick=True)
+    assert len(table.rows) == 16
+    # CF rows cost more Pd CPU than their BF counterparts (same period,
+    # nodes, app type).
+    cells = {
+        (r[0], r[1], r[2], r[3]): r[4] for r in table.rows
+    }
+    for (period, nodes, batch, net), cpu in cells.items():
+        if batch == 1:
+            bf = next(
+                v for k, v in cells.items()
+                if k[0] == period and k[1] == nodes and k[3] == net and k[2] > 1
+            )
+            assert bf < cpu
+
+
+def test_figure16(run_once):
+    """Figure 16: sampling period dominates Pd CPU-time variation."""
+    fig = run_once(run, "figure16", quick=True)
+    table = fig.find("Pd CPU time")
+    rows = dict(zip(table.column("effect"), table.column("percent")))
+    assert max(rows, key=rows.get) == "B"
+
+
+def test_figure17(run_once):
+    """Figure 17: local CPU time and throughput, CF vs BF."""
+    fig = run_once(run, "figure17", quick=True)
+    cpu = fig.find("(a) Pd CPU time")
+    assert all(
+        b < c for c, b in zip(cpu.series["CF"], cpu.series["BF"])
+    )
+    # Overhead falls as the sampling period grows.
+    assert cpu.series["CF"][0] > cpu.series["CF"][-1]
+    # (b): "the impact of the policy is more profound with respect to
+    # the data forwarding throughput" (§4.2.2) — with many application
+    # processes on a node, BF sustains several times CF's throughput
+    # (our strict-RR scheduler starves the per-sample CF daemon; see
+    # EXPERIMENTS.md figure17 for the divergence note on CPU time).
+    thr_b = fig.find("(b) forwarding throughput")
+    assert thr_b.series["BF"][-1] > 3 * thr_b.series["CF"][-1]
+
+
+def test_figure18(run_once):
+    """Figure 18: global metrics vs node count and period."""
+    fig = run_once(run, "figure18", quick=True)
+    pd = fig.find("(a) T=40ms — Pd CPU utilization/node")
+    # Per-node overhead roughly flat in node count; BF below CF.
+    assert max(pd.series["CF"]) < 2.5 * min(pd.series["CF"])
+    assert all(b < c for c, b in zip(pd.series["CF"], pd.series["BF"]))
+    app = fig.find("(a) T=40ms — Appl. CPU utilization")
+    assert "uninstrumented" in app.series
+
+
+def test_figure19(run_once):
+    """Figure 19: the batch-size knee."""
+    fig = run_once(run, "figure19", quick=True)
+    panel = fig.find("Pd CPU utilization/node")
+    for ys in panel.series.values():
+        assert ys[1] < 0.8 * ys[0]  # sharp initial drop
+        assert abs(ys[-1] - ys[-2]) < 0.15 * ys[0]  # plateau

@@ -1,0 +1,75 @@
+"""Benchmarks regenerating the SMP simulation artifacts: Table 5,
+Figures 20–24."""
+
+from repro.experiments import run
+
+
+def test_table5(run_once):
+    """Table 5: the 2^4·r SMP factorial."""
+    table = run_once(run, "table5", quick=True)
+    assert len(table.rows) == 16
+    assert all(v > 0 for v in table.column("is_cpu_s_per_node"))
+
+
+def test_figure20(run_once):
+    """Figure 20: node count among the dominant factors for IS CPU."""
+    fig = run_once(run, "figure20", quick=True)
+    table = fig.find("IS CPU time")
+    rows = dict(zip(table.column("effect"), table.column("percent")))
+    top3 = sorted(rows, key=rows.get, reverse=True)[:3]
+    assert "A" in top3  # number of nodes matters (paper: most important)
+    lat = fig.find("monitoring latency")
+    lrows = dict(zip(lat.column("effect"), lat.column("percent")))
+    ltop = sorted(lrows, key=lrows.get, reverse=True)[:3]
+    assert "C" in ltop  # forwarding policy drives latency
+
+
+def test_figure21(run_once):
+    """Figure 21: CF needs more daemons at scale; BF does not."""
+    fig = run_once(run, "figure21", quick=True)
+    cf = fig.find("CF: throughput per daemon")
+    # At the largest CPU count, four daemons beat one in total.
+    one = cf.series["1 Pd"][-1] * 1
+    four = cf.series["4 Pds"][-1] * 4
+    assert four > 1.5 * one
+    bf = fig.find("BF (batch 32): throughput per daemon")
+    # Under BF a single daemon tracks demand at 16 CPUs (= 400/s).
+    idx16 = bf.x.index(16.0)
+    assert bf.series["1 Pd"][idx16] > 330.0
+
+
+def test_figure22(run_once):
+    """Figure 22: SMP metrics vs node count, CF vs BF.
+
+    Raw IS CPU time can invert when the starved CF daemon delivers less
+    work, so the comparison uses the throughput-normalized panel: BF
+    spends less IS CPU per delivered sample everywhere.
+    """
+    fig = run_once(run, "figure22", quick=True)
+    cf = fig.find("(CF) IS CPU per delivered sample")
+    bf = fig.find("(BF) IS CPU per delivered sample")
+    for key in cf.series:
+        for c, b in zip(cf.series[key], bf.series[key]):
+            assert b < c
+
+
+def test_figure23(run_once):
+    """Figure 23: overhead falls with the sampling period."""
+    fig = run_once(run, "figure23", quick=True)
+    panel = fig.find("(CF) IS CPU utilization/node")
+    for ys in panel.series.values():
+        assert ys[0] > ys[-1]
+
+
+def test_figure24(run_once):
+    """Figure 24: overhead grows with the application-process count
+    while the IS keeps up; once the CF daemon saturates, the
+    throughput-normalized comparison still favours BF."""
+    fig = run_once(run, "figure24", quick=True)
+    panel = fig.find("(BF) IS CPU utilization/node")
+    for ys in panel.series.values():
+        assert ys[1] > ys[0]  # more apps -> more IS work (pre-saturation)
+    cf = fig.find("(CF) IS CPU per delivered sample")
+    bf = fig.find("(BF) IS CPU per delivered sample")
+    for key in cf.series:
+        assert bf.series[key][-1] < cf.series[key][-1]

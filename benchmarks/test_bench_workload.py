@@ -1,0 +1,46 @@
+"""Benchmarks regenerating the workload-characterization artifacts:
+Table 1, Figure 8, Table 2, Table 3 (DESIGN.md per-experiment index)."""
+
+import pytest
+
+from repro.experiments import run
+
+
+def test_table1(run_once):
+    """Table 1: occupancy statistics of the synthetic pvmbt trace."""
+    table = run_once(run, "table1", quick=True)
+    rows = dict(zip(table.column("process"), table.column("cpu_mean")))
+    assert rows["application"] == pytest.approx(2213.0, rel=0.15)
+    assert rows["pvm_daemon"] == pytest.approx(294.0, rel=0.25)
+
+
+def test_figure8(run_once):
+    """Figure 8: fits + Q-Q for application CPU/network requests."""
+    fig = run_once(run, "figure8", quick=True)
+    cpu_fits = fig.find("cpu requests: candidate fits")
+    best = cpu_fits.rows[0]  # sorted by log-likelihood
+    assert best[0] == "lognormal"
+    net_fits = fig.find("network requests: candidate fits")
+    families = net_fits.column("family")
+    assert "exponential" in families[:2]  # exp wins or ties weibull
+
+
+def test_table2(run_once):
+    """Table 2: fitted model parameters per process class."""
+    table = run_once(run, "table2", quick=True)
+    fam = {
+        (p, r): f
+        for p, r, f in zip(
+            table.column("process"), table.column("resource"),
+            table.column("family"),
+        )
+    }
+    assert fam[("application", "cpu")] == "lognormal"
+    assert fam[("paradyn_daemon", "cpu")] == "exponential"
+
+
+def test_table3(run_once):
+    """Table 3: measured vs simulated CPU times agree."""
+    table = run_once(run, "table3", quick=True)
+    app = table.column("app_cpu_s")
+    assert app[1] == pytest.approx(app[0], rel=0.15)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Adaptive IS management: hold instrumentation overhead to a budget.
+
+The paper's closing discussion (§6) proposes that "users can specify
+tolerable limits for IS overheads ... the IS can use the model to adapt
+its behavior in order to regulate overheads", pointing at Paradyn's
+dynamic cost model.  This example exercises that loop, an extension
+this library builds on top of the ROCC simulator:
+
+An aggressive configuration (1 ms sampling under CF) would burn ~25 %
+of each node's CPU on the daemon.  The overhead regulator watches the
+daemon's CPU utilization every 250 ms and backs the sampling period
+off (or, with ``adapt_batch``, grows the batch first) until the
+overhead sits inside the user's budget.
+
+Run:
+    python examples/adaptive_overhead_budget.py
+"""
+
+from repro.rocc import (
+    ParadynISSystem,
+    RegulatorConfig,
+    SimulationConfig,
+    simulate,
+)
+
+
+def main() -> None:
+    base = SimulationConfig(
+        nodes=2,
+        sampling_period=1_000.0,  # 1 ms: brutal under CF
+        batch_size=1,
+        duration=10_000_000.0,  # 10 s
+        seed=44,
+    )
+    budget = 0.01
+
+    static = simulate(base)
+    print("Static CF @ 1 ms sampling:")
+    print(f"  Pd CPU utilization/node : {100 * static.pd_cpu_utilization_per_node:.2f} %"
+          f"  (budget: {100 * budget:.0f} %)")
+    print(f"  samples delivered       : {static.samples_received}")
+    print()
+
+    for label, reg in [
+        ("period backoff only",
+         RegulatorConfig(budget=budget)),
+        ("batch adaptation first",
+         RegulatorConfig(budget=budget, adapt_batch=True, max_batch=64)),
+    ]:
+        system = ParadynISSystem(base.with_(adaptive=reg))
+        results = system.run()
+        regulator = system.regulators[0]
+        final_period = system.apps[0].sampler_state.period
+        final_batch = system.daemons[0].batch_size
+        # Overhead over the final controlled window, not the whole run
+        # (the run average includes the pre-convergence transient).
+        tail = [d for d in regulator.decisions if d.time > 5_000_000.0]
+        tail_util = sum(d.observed_utilization for d in tail) / len(tail)
+        print(f"Adaptive ({label}):")
+        print(f"  decisions taken         : {len(regulator.decisions)} "
+              f"({sum(d.acted for d in regulator.decisions)} acted)")
+        print(f"  final sampling period   : {final_period / 1e3:.1f} ms "
+              f"(batch {final_batch})")
+        print(f"  overhead, settled window: {100 * tail_util:.2f} %")
+        print(f"  run-average overhead    : "
+              f"{100 * results.pd_cpu_utilization_per_node:.2f} %")
+        print(f"  samples delivered       : {results.samples_received}")
+        print()
+
+    print("Reading: both regulators pull a ~25 % overhead inside the 1 % "
+          "budget; adapting the batch first preserves far more samples "
+          "per second than slowing the sampling clock — the same "
+          "conclusion the paper's CF→BF comparison reaches, arrived at "
+          "automatically.")
+
+
+if __name__ == "__main__":
+    main()

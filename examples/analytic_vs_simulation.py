@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cross-validate the Section-3 analysis against the simulator.
+
+The paper keeps its operational-analysis expectations deliberately
+modest: "we do not expect analytical results to be accurate; instead,
+we want to use these results to show the gross changes in the metric
+values" (§3).  This example measures exactly how good the
+back-of-the-envelope is: it sweeps the sampling period on a NOW and
+prints the analytic vs simulated daemon utilization and forwarding
+latency side by side, once with the paper's Table-2 demands and once
+with the simulator's cost decomposition plugged into the same formulas.
+
+Run:
+    python examples/analytic_vs_simulation.py
+"""
+
+from repro.analytical import ISDemands, NOWAnalyticalModel
+from repro.rocc import NetworkMode, SimulationConfig, simulate
+
+
+def main() -> None:
+    nodes, batch = 4, 1
+    base = SimulationConfig(
+        nodes=nodes,
+        batch_size=batch,
+        duration=4_000_000.0,
+        network_mode=NetworkMode.CONTENTION_FREE,
+        seed=9,
+    )
+    periods_ms = [2, 5, 10, 20, 40]
+
+    print("NOW, CF policy, 4 nodes — analytic (eqs 1-6) vs simulation")
+    print()
+    header = (f"{'T (ms)':>7s} | {'Pd util % (paper eqs)':>21s} "
+              f"{'(cost-model eqs)':>17s} {'(simulated)':>12s} | "
+              f"{'R (ms, analytic)':>16s} {'(simulated)':>12s}")
+    print(header)
+    print("-" * len(header))
+    for t_ms in periods_ms:
+        period = t_ms * 1000.0
+        paper_model = NOWAnalyticalModel(
+            nodes=nodes, sampling_period=period, batch_size=batch
+        )
+        cost_model = NOWAnalyticalModel(
+            nodes=nodes, sampling_period=period, batch_size=batch,
+            demands=ISDemands.from_cost_models(
+                base.daemon_costs, base.main_costs, batch
+            ),
+        )
+        sim = simulate(base.with_(sampling_period=period))
+        print(
+            f"{t_ms:7.0f} | {100 * paper_model.pd_cpu_utilization():21.3f} "
+            f"{100 * cost_model.pd_cpu_utilization():17.3f} "
+            f"{100 * sim.pd_cpu_utilization_per_node:12.3f} | "
+            f"{paper_model.monitoring_latency() / 1e3:16.3f} "
+            f"{sim.monitoring_latency_forwarding_ms:12.3f}"
+        )
+    print()
+    print("Reading: utilizations agree to within a few percent (the flow-"
+          "balance assumption holds at these loads); the analytic latency "
+          "misses the CPU contention with the application — it sees only "
+          "the IS's own queueing — so the simulated residence time is "
+          "higher, exactly the gap the paper warns about in §3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Direct vs binary-tree forwarding on an MPP (§4.4, Figures 26–27).
+
+Simulates a massively-parallel system where daemons either send
+instrumentation data straight to the main Paradyn process or relay it
+up a binary tree of daemons that merge en-route batches.  Large node
+counts use the aggregated large-n mode (one detailed node + phantom
+traffic), the same technique the benchmarks use for the 256-node runs.
+
+Also shows the analytic (Section 3) predictions next to the simulation.
+
+Run:
+    python examples/mpp_tree_forwarding.py
+"""
+
+from repro.analytical import MPPAnalyticalModel
+from repro.rocc import (
+    Architecture,
+    ForwardingTopology,
+    SimulationConfig,
+    simulate,
+    simulate_aggregated,
+)
+
+
+def run(nodes: int, tree: bool):
+    cfg = SimulationConfig(
+        architecture=Architecture.MPP,
+        nodes=nodes,
+        sampling_period=40_000.0,
+        batch_size=32,
+        forwarding=ForwardingTopology.TREE if tree else ForwardingTopology.DIRECT,
+        duration=4_000_000.0,
+        seed=4,
+    )
+    return simulate_aggregated(cfg) if nodes > 16 else simulate(cfg)
+
+
+def main() -> None:
+    print("MPP forwarding topology comparison (T = 40 ms, BF batch 32)")
+    print()
+    print(f"{'nodes':>6s} {'topology':>9s} {'Pd CPU %/node':>14s} "
+          f"{'analytic %':>11s} {'latency (ms)':>13s} {'merges':>7s}")
+    for nodes in (8, 32, 128):
+        for tree in (False, True):
+            r = run(nodes, tree)
+            analytic = MPPAnalyticalModel(
+                nodes=nodes, sampling_period=40_000.0, batch_size=32, tree=tree
+            )
+            print(
+                f"{nodes:6d} {'tree' if tree else 'direct':>9s} "
+                f"{100 * r.pd_cpu_utilization_per_node:14.4f} "
+                f"{100 * analytic.pd_cpu_utilization():11.4f} "
+                f"{r.monitoring_latency_total_ms:13.1f} "
+                f"{r.merges_total:7d}"
+            )
+    print()
+    print("Reading: tree forwarding pays extra daemon CPU for the merge "
+          "work at non-leaf nodes while latency stays essentially the "
+          "same — which is why the paper recommends BF over a direct "
+          "topology for reducing direct overhead (§4.4.2).  Note the "
+          "analytic column ignores per-sample collection costs, so it "
+          "understates the simulated utilization, exactly as in the "
+          "paper's back-of-the-envelope treatment.")
+
+
+if __name__ == "__main__":
+    main()

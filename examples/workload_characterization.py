@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Workload characterization: trace → statistics → fits → simulation.
+
+Walks the full §2.3–2.4 pipeline of the paper:
+
+1. "Measure" a NAS pvmbt run with the synthetic AIX tracing facility.
+2. Summarize per-process occupancy statistics (Table 1).
+3. Fit candidate distributions to the request lengths and pick the best
+   family per (process, resource) pair (Figure 8 / Table 2).
+4. Parameterize the ROCC simulator from the fits and validate it against
+   the "measurement" (Table 3).
+
+Run:
+    python examples/workload_characterization.py
+"""
+
+from repro.rocc import SimulationConfig, simulate
+from repro.workload import (
+    PVMBT,
+    AIXTraceFacility,
+    ProcessType,
+    ResourceKind,
+    TracingConfig,
+    build_parameters,
+    fit_requests,
+    summarize,
+)
+
+
+def main() -> None:
+    duration = 10_000_000.0  # 10 simulated seconds of tracing
+
+    print("=== 1. Tracing NAS pvmbt under the Paradyn IS (synthetic AIX) ===")
+    facility = AIXTraceFacility(
+        PVMBT,
+        TracingConfig(duration=duration, sampling_period=40_000.0, seed=1,
+                      trace_main_process=True),
+    )
+    trace = facility.trace()
+    print(f"captured {len(trace)} occupancy records over "
+          f"{trace.span() / 1e6:.1f} s\n")
+
+    print("=== 2. Table 1: occupancy-request statistics (µs) ===")
+    print(summarize(trace).format())
+    print()
+
+    print("=== 3. Table 2: fitted request-length distributions ===")
+    for fit in fit_requests(trace):
+        best = fit.distribution
+        print(f"  {fit.process_type.value:16s} {fit.resource.value:8s} "
+              f"-> {fit.family:12s} mean={best.mean:8.1f} std={best.std:8.1f}")
+        for cand in sorted(fit.candidates, key=lambda c: -c.loglik):
+            marker = "*" if cand.family == fit.family else " "
+            print(f"     {marker} {cand.family:12s} loglik={cand.loglik:12.1f} "
+                  f"ks={cand.ks_statistic:.4f}")
+    print()
+
+    print("=== 4. Table 3: validate the parameterized model ===")
+    params = build_parameters(trace)
+    sim = simulate(
+        SimulationConfig(nodes=1, duration=duration, sampling_period=40_000.0,
+                         workload=params, seed=1)
+    )
+    measured_app = trace.busy_time(
+        process_type=ProcessType.APPLICATION, resource=ResourceKind.CPU
+    ) / 1e6
+    measured_pd = trace.busy_time(
+        process_type=ProcessType.PARADYN_DAEMON, resource=ResourceKind.CPU
+    ) / 1e6
+    print(f"  {'':24s} {'app CPU (s)':>12s} {'Pd CPU (s)':>12s}")
+    print(f"  {'measurement based':24s} {measured_app:12.2f} {measured_pd:12.2f}")
+    print(f"  {'simulation model based':24s} "
+          f"{sim.app_cpu_time_per_node / 1e6:12.2f} "
+          f"{sim.pd_cpu_time_per_node / 1e6:12.2f}")
+    print("\n(the paper's Table 3: measured 85.71/0.74 vs simulated "
+          "87.96/0.59 over 100 s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment this project targets ships setuptools 65 without
+the ``wheel`` package, so PEP 517 editable installs fail; this shim keeps
+``pip install -e .`` working there.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""``repro.analytical`` — the paper's Section 3 operational analysis.
+
+Implements equations (1)–(16): arrival-rate definitions, utilization /
+forced-flow / Little's laws, per-architecture models (NOW, SMP, MPP
+with direct or binary-tree forwarding), plus exact MVA for the closed
+application workload the paper discusses and dismisses.
+"""
+
+from .mpp import MPPAnalyticalModel
+from .mva import MVACenter, MVAResult, mva
+from .now import NOWAnalyticalModel
+from .operational import (
+    ISDemands,
+    forced_flow_law,
+    littles_law_population,
+    littles_law_response,
+    residence_time_open,
+    utilization_law,
+)
+from .smp import SMPAnalyticalModel
+
+__all__ = [
+    "utilization_law",
+    "forced_flow_law",
+    "littles_law_population",
+    "littles_law_response",
+    "residence_time_open",
+    "ISDemands",
+    "mva",
+    "MVACenter",
+    "MVAResult",
+    "NOWAnalyticalModel",
+    "SMPAnalyticalModel",
+    "MPPAnalyticalModel",
+]

@@ -1,0 +1,84 @@
+"""Operational analysis of the NOW case — equations (1)–(6).
+
+The Paradyn-daemon workload is treated as an open (transaction)
+workload with per-node arrival rate
+
+    λ = 1/T · 1/b · m                                   (1)
+
+where T is the sampling period, b the batch size, and m the number of
+application processes per node.  The remaining metrics follow from the
+utilization law, forced flow, and Little's law under flow balance:
+
+    μ_Pd,CPU      = λ · D_Pd,CPU                        (2)
+    μ_Pd,Network  = n λ · D_Pd,Network                  (3)
+    R             = D_CPU/(1−μ_CPU) + D_Net/(1−μ_Net)   (4)
+    μ_Paradyn,CPU = n λ · D_Paradyn,CPU                 (5)
+    μ_App,CPU     = 1 − μ_Pd,CPU                        (6)
+
+Equation (6) is the paper's own caveat-laden approximation (it ignores
+the application's network blocking), reproduced as printed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .operational import ISDemands, residence_time_open
+
+__all__ = ["NOWAnalyticalModel"]
+
+
+@dataclass
+class NOWAnalyticalModel:
+    """Analytic IS metrics for a network-of-workstations system."""
+
+    nodes: int = 8
+    sampling_period: float = 40_000.0  # µs
+    batch_size: int = 1
+    app_processes_per_node: int = 1
+    demands: ISDemands = field(default_factory=ISDemands.paper)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.sampling_period <= 0:
+            raise ValueError("sampling_period must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.app_processes_per_node < 1:
+            raise ValueError("app_processes_per_node must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def arrival_rate(self) -> float:
+        """λ — Pd forwarding-request arrival rate per node, 1/µs (eq 1)."""
+        return (
+            1.0
+            / self.sampling_period
+            / self.batch_size
+            * self.app_processes_per_node
+        )
+
+    def pd_cpu_utilization(self) -> float:
+        """μ_Pd,CPU per node (eq 2)."""
+        return self.arrival_rate * self.demands.d_pd_cpu
+
+    def pd_network_utilization(self) -> float:
+        """μ_Pd,Network of the shared network (eq 3)."""
+        return self.nodes * self.arrival_rate * self.demands.d_pd_network
+
+    def monitoring_latency(self) -> float:
+        """R(λ) per forwarded unit, µs (eq 4)."""
+        return residence_time_open(
+            self.demands.d_pd_cpu, self.pd_cpu_utilization()
+        ) + residence_time_open(
+            self.demands.d_pd_network, self.pd_network_utilization()
+        )
+
+    def paradyn_cpu_utilization(self) -> float:
+        """μ_Paradyn,CPU of the main process host (eq 5)."""
+        return self.nodes * self.arrival_rate * self.demands.d_main_cpu
+
+    def app_cpu_utilization(self) -> float:
+        """μ_Application,CPU per node (eq 6) — an upper bound, see §3."""
+        return 1.0 - self.pd_cpu_utilization()

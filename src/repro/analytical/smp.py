@@ -1,0 +1,91 @@
+"""Operational analysis of the SMP case — equations (7)–(12).
+
+The SMP pools ``n`` CPUs; multiple Paradyn daemons may share them, so
+the arrival-rate definition gains a daemon factor (§3.2):
+
+    λ = 1/T · 1/b · m · k
+
+with m application processes and k daemons.  (As the paper defines it,
+adding daemons multiplies the *IS request* rate — each daemon handles
+its share of the samples but the rate is expressed per-daemon-request;
+we implement the equation as printed.)  Then:
+
+    μ_Pd,CPU      = λ · D_Pd,CPU / n                    (7)
+    μ_Paradyn,CPU = λ · D_Paradyn,CPU / n               (8)
+    μ_IS,CPU      = (k μ_Pd + μ_Paradyn)/(k + 1)        (9)
+    μ_App,CPU     = 1 − μ_IS,CPU                        (10)
+    μ_Pd,Bus      = λ · D_Pd,Bus                        (11)
+    R             = (D_Pd,CPU/n)/(1−μ_Pd,CPU)
+                    + D_Pd,Bus/(1−μ_Pd,Bus)             (12)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .operational import ISDemands, residence_time_open
+
+__all__ = ["SMPAnalyticalModel"]
+
+
+@dataclass
+class SMPAnalyticalModel:
+    """Analytic IS metrics for a shared-memory multiprocessor."""
+
+    nodes: int = 16  # number of CPUs
+    sampling_period: float = 40_000.0
+    batch_size: int = 1
+    app_processes: int = 32  # total on the SMP
+    daemons: int = 1
+    demands: ISDemands = field(default_factory=ISDemands.paper)
+    #: Bus occupancy per forward, µs (defaults to the network demand).
+    d_pd_bus: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.daemons < 1 or self.app_processes < 1:
+            raise ValueError("nodes, daemons, app_processes must be >= 1")
+        if self.sampling_period <= 0 or self.batch_size < 1:
+            raise ValueError("bad sampling_period / batch_size")
+        if self.d_pd_bus is None:
+            self.d_pd_bus = self.demands.d_pd_network
+
+    # ------------------------------------------------------------------
+    @property
+    def arrival_rate(self) -> float:
+        """λ with the SMP daemon factor (§3.2), 1/µs."""
+        return (
+            1.0
+            / self.sampling_period
+            / self.batch_size
+            * self.app_processes
+            * self.daemons
+        )
+
+    def pd_cpu_utilization(self) -> float:
+        """μ_Pd,CPU (eq 7)."""
+        return self.arrival_rate * self.demands.d_pd_cpu / self.nodes
+
+    def paradyn_cpu_utilization(self) -> float:
+        """μ_Paradyn,CPU (eq 8)."""
+        return self.arrival_rate * self.demands.d_main_cpu / self.nodes
+
+    def is_cpu_utilization(self) -> float:
+        """μ_IS,CPU (eq 9)."""
+        k = self.daemons
+        return (
+            k * self.pd_cpu_utilization() + self.paradyn_cpu_utilization()
+        ) / (k + 1)
+
+    def app_cpu_utilization(self) -> float:
+        """μ_Application,CPU (eq 10)."""
+        return 1.0 - self.is_cpu_utilization()
+
+    def bus_utilization(self) -> float:
+        """μ_Pd,Bus (eq 11)."""
+        return self.arrival_rate * self.d_pd_bus
+
+    def monitoring_latency(self) -> float:
+        """R(λ), µs (eq 12)."""
+        return residence_time_open(
+            self.demands.d_pd_cpu / self.nodes, self.pd_cpu_utilization()
+        ) + residence_time_open(self.d_pd_bus, self.bus_utilization())

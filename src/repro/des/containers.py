@@ -1,0 +1,124 @@
+"""Level-based resource: a :class:`Container` of continuous quantity.
+
+Used for modeling fluid-like quantities (buffer credit, byte counts).
+``put(amount)`` blocks while the container would overflow; ``get(amount)``
+blocks until the requested amount is available.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = ["ContainerPut", "ContainerGet", "Container"]
+
+
+class ContainerPut(Event):
+    """Fires once ``amount`` has been added to the container."""
+
+    __slots__ = ("container", "amount")
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount ({amount}) must be positive")
+        super().__init__(container.env)
+        self.container = container
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._trigger()
+
+    def cancel(self) -> None:
+        if not self.triggered:
+            try:
+                self.container._put_waiters.remove(self)
+            except ValueError:  # pragma: no cover
+                pass
+
+
+class ContainerGet(Event):
+    """Fires once ``amount`` has been removed from the container."""
+
+    __slots__ = ("container", "amount")
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount ({amount}) must be positive")
+        super().__init__(container.env)
+        self.container = container
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._trigger()
+
+    def cancel(self) -> None:
+        if not self.triggered:
+            try:
+                self.container._get_waiters.remove(self)
+            except ValueError:  # pragma: no cover
+                pass
+
+
+class Container:
+    """Holds a continuous ``level`` between 0 and ``capacity``."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self._capacity = capacity
+        self._level = float(init)
+        self._put_waiters: List[ContainerPut] = []
+        self._get_waiters: List[ContainerGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Current fill level."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add *amount*; blocks while it would exceed capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove *amount*; blocks until that much is available."""
+        return ContainerGet(self, amount)
+
+    # -- internals ------------------------------------------------------
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            i = 0
+            while i < len(self._put_waiters):
+                ev = self._put_waiters[i]
+                if self._level + ev.amount <= self._capacity:
+                    self._level += ev.amount
+                    ev.succeed()
+                    self._put_waiters.pop(i)
+                    progressed = True
+                else:
+                    i += 1
+            i = 0
+            while i < len(self._get_waiters):
+                ev = self._get_waiters[i]
+                if ev.amount <= self._level:
+                    self._level -= ev.amount
+                    ev.succeed()
+                    self._get_waiters.pop(i)
+                    progressed = True
+                else:
+                    i += 1

@@ -1,0 +1,185 @@
+"""The simulation :class:`Environment`: clock, event queue, main loop.
+
+The environment owns the simulation clock (``env.now``) and a binary
+heap of scheduled events ordered by ``(time, priority, sequence)``.
+Model code creates events through the factory methods (:meth:`timeout`,
+:meth:`process`, :meth:`event`, ...) and drives the simulation with
+:meth:`run`.
+
+Time is a plain ``float``; this package uses **microseconds** throughout
+the ROCC model, but the kernel itself is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .events import (
+    NORMAL,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Process,
+    Timeout,
+)
+from .exceptions import EmptySchedule, SimulationError, StopSimulation
+
+__all__ = ["Environment", "Infinity"]
+
+#: Convenience alias used for "run forever".
+Infinity: float = float("inf")
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now: float = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+        #: Optional observers invoked as ``tracer(event, now)`` for every
+        #: processed event (see :mod:`repro.des.tracing`).  Kept as a
+        #: plain list checked with one truthiness test so the untraced
+        #: hot path stays cheap.
+        self._tracers: List = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def add_tracer(self, tracer) -> None:
+        """Register an observer called as ``tracer(event, now)`` for every
+        processed event."""
+        self._tracers.append(tracer)
+
+    def remove_tracer(self, tracer) -> None:
+        """Unregister a previously added tracer (no-op if absent)."""
+        try:
+            self._tracers.remove(tracer)
+        except ValueError:
+            pass
+
+    def __len__(self) -> int:
+        """Number of scheduled (not yet processed) events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing after *delay* time units."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new :class:`Process` running *generator*."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create a condition satisfied once all *events* fire."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create a condition satisfied once any of *events* fires."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling / execution
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue *event* to be processed ``delay`` time units from now."""
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` when the queue is empty, and
+        re-raises the value of any *failed* event that no waiter defused
+        (an unhandled simulation error).
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-processing guard
+            raise SimulationError(f"{event!r} processed twice")
+        if self._tracers:
+            for tracer in self._tracers:
+                tracer(event, self._now)
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(repr(exc))  # pragma: no cover
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is exhausted;
+        * a number — run until the clock reaches that time (the clock is
+          advanced exactly to it even if no event falls there);
+        * an :class:`Event` — run until that event is processed, returning
+          its value.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until ({at}) must be greater than now ({self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, URGENT, at - self._now)
+        if isinstance(until, Event):
+            if until.callbacks is None:  # already processed
+                return until.value
+            until.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            return exc.args[0]
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise RuntimeError(
+                    "no scheduled events left but the until event was not triggered"
+                ) from None
+        return None

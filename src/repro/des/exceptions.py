@@ -1,0 +1,59 @@
+"""Exception types used by the discrete-event simulation kernel.
+
+The kernel mirrors the process-interaction style popularized by SimPy:
+model logic lives in Python generator functions that ``yield`` events.
+Exceptional control flow — interrupting a waiting process, running off
+the end of the event queue, failing an event — is expressed with the
+exception classes defined here.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "EmptySchedule",
+    "StopSimulation",
+    "Interrupt",
+]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no more events are queued."""
+
+
+class StopSimulation(Exception):
+    """Internal signal used by :meth:`Environment.run` to stop the loop.
+
+    ``run(until=...)`` schedules a sentinel event whose processing raises
+    this exception; user code never needs to catch it.
+    """
+
+    @classmethod
+    def callback(cls, event: "object") -> None:
+        """Event callback that stops the simulation when *event* fires."""
+        if event.ok:  # type: ignore[attr-defined]
+            raise cls(event.value)  # type: ignore[attr-defined]
+        raise event.value  # type: ignore[attr-defined]
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted via :meth:`Process.interrupt`.
+
+    The interrupting party supplies an arbitrary *cause* object describing
+    why the process was interrupted (e.g. a CPU-preemption record).
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt({self.cause!r})"

@@ -1,0 +1,170 @@
+"""Statistics accumulators for observing a running simulation.
+
+Two accumulator flavours cover the metrics the ROCC study needs:
+
+* :class:`Tally` — discrete observations (e.g. per-sample monitoring
+  latency): count, mean, variance, min/max, optional retention of the
+  raw series.
+* :class:`TimeWeighted` — piecewise-constant signals integrated over
+  time (e.g. number of busy CPUs, queue length): time-average and
+  integral ("busy time").
+
+Both are cheap (O(1) per observation, Welford updates) so they can be
+attached to hot paths of the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["Tally", "TimeWeighted"]
+
+
+class Tally:
+    """Streaming mean/variance of discrete observations (Welford)."""
+
+    __slots__ = ("name", "_n", "_mean", "_m2", "_min", "_max", "_total", "series")
+
+    def __init__(self, name: str = "", keep_series: bool = False):
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+        #: Raw observations, retained only if ``keep_series`` was set.
+        self.series: Optional[List[float]] = [] if keep_series else None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self.series is not None:
+            self.series.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        return self._m2 / (self._n - 1) if self._n > 1 else math.nan
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._n else math.nan
+
+    def merge(self, other: "Tally") -> None:
+        """Fold *other*'s observations into this tally (parallel Welford)."""
+        if other._n == 0:
+            return
+        if self._n == 0:
+            self._n = other._n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            self._total = other._total
+        else:
+            n = self._n + other._n
+            delta = other._mean - self._mean
+            self._m2 += other._m2 + delta * delta * self._n * other._n / n
+            self._mean = (self._mean * self._n + other._mean * other._n) / n
+            self._n = n
+            self._total += other._total
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        if self.series is not None and other.series is not None:
+            self.series.extend(other.series)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tally({self.name!r}, n={self._n}, mean={self.mean:.4g}, "
+            f"std={self.std:.4g})"
+        )
+
+
+class TimeWeighted:
+    """Integrates a piecewise-constant signal over simulation time.
+
+    Call :meth:`update` whenever the signal changes; read
+    :meth:`integral` (area under the curve up to *now*) or
+    :meth:`time_average`.
+    """
+
+    __slots__ = ("name", "_value", "_last_time", "_start_time", "_area", "_max")
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self._value = float(initial)
+        self._last_time = float(start_time)
+        self._start_time = float(start_time)
+        self._area = 0.0
+        self._max = float(initial)
+
+    @property
+    def value(self) -> float:
+        """Current level of the signal."""
+        return self._value
+
+    def update(self, value: float, now: float) -> None:
+        """Set the signal to *value* at time *now*."""
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time} ({self.name})"
+            )
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = float(value)
+        if value > self._max:
+            self._max = float(value)
+
+    def increment(self, delta: float, now: float) -> None:
+        """Adjust the signal by *delta* at time *now*."""
+        self.update(self._value + delta, now)
+
+    def integral(self, now: float) -> float:
+        """Area under the signal from start to *now*."""
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        return self._area + self._value * (now - self._last_time)
+
+    def time_average(self, now: float) -> float:
+        """Time-weighted mean of the signal from start to *now*."""
+        span = now - self._start_time
+        return self.integral(now) / span if span > 0 else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeWeighted({self.name!r}, value={self._value:.4g})"

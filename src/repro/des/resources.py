@@ -1,0 +1,249 @@
+"""Shared-resource primitives: FIFO, priority, and preemptive resources.
+
+A :class:`Resource` models a server (or pool of *capacity* servers) that
+processes acquire with ``request()`` and release with ``release()`` —
+typically via the request's context-manager protocol::
+
+    with resource.request() as req:
+        yield req              # wait for a server
+        yield env.timeout(d)   # occupy it
+
+:class:`PriorityResource` serves waiting requests in priority order
+(lower number = more important).  :class:`PreemptiveResource` may
+additionally evict a lower-priority user, interrupting its process with
+a :class:`Preempted` cause.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from .events import Event, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = [
+    "Preempted",
+    "Request",
+    "PriorityRequest",
+    "Release",
+    "Resource",
+    "PriorityResource",
+    "PreemptiveResource",
+]
+
+
+class Preempted:
+    """Cause object delivered with the :class:`~.exceptions.Interrupt`
+    raised in a process evicted from a :class:`PreemptiveResource`."""
+
+    __slots__ = ("by", "usage_since", "resource")
+
+    def __init__(self, by: Optional[Process], usage_since: float, resource: "Resource"):
+        #: The process whose request triggered the preemption.
+        self.by = by
+        #: Simulation time at which the evicted request acquired the resource.
+        self.usage_since = usage_since
+        #: The resource the preemption happened on.
+        self.resource = resource
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Preempted(by={self.by!r}, usage_since={self.usage_since})"
+
+
+class Request(Event):
+    """Request event for :class:`Resource`; fires when a server is granted."""
+
+    __slots__ = ("resource", "proc", "usage_since")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.proc: Optional[Process] = resource.env.active_process
+        #: Time the request was granted (set when it succeeds).
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: Any, exc_val: Any, exc_tb: Any) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the resource if held, or withdraw a pending request."""
+        if not self.triggered:
+            self.resource._remove_from_queue(self)
+        elif self in self.resource.users:
+            self.resource.release(self)
+
+
+class PriorityRequest(Request):
+    """Request with a priority and optional preemption flag."""
+
+    __slots__ = ("priority", "preempt", "time", "key")
+
+    def __init__(self, resource: "Resource", priority: int = 0, preempt: bool = False):
+        self.priority = priority
+        self.preempt = preempt
+        self.time = resource.env.now
+        # Lower key sorts first: priority, then FIFO within priority,
+        # preempting requests ahead of non-preempting ones at equal time.
+        self.key = (priority, self.time, not preempt)
+        super().__init__(resource)
+
+
+class Release(Event):
+    """Event representing a completed release (fires immediately)."""
+
+    __slots__ = ("resource", "request")
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        resource._do_release(self)
+        self.succeed()
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers with a FIFO wait queue."""
+
+    request_cls = Request
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = int(capacity)
+        #: Requests currently holding a server.
+        self.users: List[Request] = []
+        #: Pending requests (FIFO for the base class).
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        """Total number of servers."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of servers currently in use."""
+        return len(self.users)
+
+    def request(self, **kwargs: Any) -> Request:
+        """Create (and enqueue) a request for one server."""
+        return self.request_cls(self, **kwargs)
+
+    def release(self, request: Request) -> Release:
+        """Release the server held by *request* and serve the next waiter."""
+        return Release(self, request)
+
+    # -- internals ------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.env.now
+        request.succeed()
+
+    def _do_release(self, release: Release) -> None:
+        try:
+            self.users.remove(release.request)
+        except ValueError:
+            raise RuntimeError(
+                f"cannot release {release.request!r}: not a current user"
+            ) from None
+        self._trigger_next()
+
+    def _trigger_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            self._grant(self._pop_next())
+
+    def _pop_next(self) -> Request:
+        return self.queue.pop(0)
+
+    def _remove_from_queue(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+
+class PriorityResource(Resource):
+    """Resource whose wait queue is ordered by request priority."""
+
+    request_cls = PriorityRequest
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+        self._tie = count()
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            self._enqueue(request)
+
+    def _enqueue(self, request: PriorityRequest) -> None:
+        heapq.heappush(self._heap, (request.key, next(self._tie), request))
+        self.queue.append(request)  # kept for inspection/len()
+
+    def _pop_next(self) -> Request:
+        while True:
+            _, _, request = heapq.heappop(self._heap)
+            if request in self.queue:
+                self.queue.remove(request)
+                return request
+
+    def _remove_from_queue(self, request: Request) -> None:
+        # Lazy deletion: drop from the mirror list; the heap entry is
+        # skipped in _pop_next.
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _trigger_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            self._grant(self._pop_next())
+
+
+class PreemptiveResource(PriorityResource):
+    """Priority resource where urgent requests evict less-urgent users.
+
+    A request with ``preempt=True`` that finds all servers busy compares
+    itself against the *least important* current user; if strictly more
+    important (smaller priority number) it evicts that user: the victim's
+    request is released and its process is interrupted with a
+    :class:`Preempted` cause.
+    """
+
+    def _do_request(self, request: PriorityRequest) -> None:  # type: ignore[override]
+        if len(self.users) >= self._capacity and request.preempt:
+            # Find the least-important user (largest key).
+            victim = max(self.users, key=lambda u: u.key)  # type: ignore[attr-defined]
+            if victim.key > request.key:  # type: ignore[attr-defined]
+                self.users.remove(victim)
+                if victim.proc is not None and victim.proc.is_alive:
+                    usage_since = (
+                        victim.usage_since
+                        if victim.usage_since is not None
+                        else self.env.now
+                    )
+                    victim.proc.interrupt(
+                        Preempted(
+                            by=request.proc,
+                            usage_since=usage_since,
+                            resource=self,
+                        )
+                    )
+        super()._do_request(request)

@@ -1,0 +1,180 @@
+"""Buffered object exchange between processes: :class:`Store` and friends.
+
+A :class:`Store` holds up to ``capacity`` items.  ``put(item)`` returns an
+event that fires once the item is accepted (immediately if there is
+room, otherwise when space frees up — this is how the ROCC model's
+finite Unix pipe blocks a writing application process).  ``get()``
+returns an event that fires with the next item.
+
+:class:`FilterStore` lets getters select items with a predicate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = ["StorePut", "StoreGet", "FilterStoreGet", "Store", "FilterStore"]
+
+
+class StorePut(Event):
+    """Event that fires once the store has accepted ``item``."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.store = store
+        self.item = item
+        store._put_waiters.append(self)
+        store._trigger()
+
+    def __enter__(self) -> "StorePut":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw the put if it has not been accepted yet."""
+        if not self.triggered:
+            try:
+                self.store._put_waiters.remove(self)
+            except ValueError:  # pragma: no cover
+                pass
+
+
+class StoreGet(Event):
+    """Event that fires with the retrieved item as its value."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        self.store = store
+        store._get_waiters.append(self)
+        store._trigger()
+
+    def __enter__(self) -> "StoreGet":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw the get if it has not been satisfied yet."""
+        if not self.triggered:
+            try:
+                self.store._get_waiters.remove(self)
+            except ValueError:  # pragma: no cover
+                pass
+
+
+class FilterStoreGet(StoreGet):
+    """Get event that only accepts items matching ``filter``."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Callable[[Any], bool]):
+        self.filter = filter
+        super().__init__(store)
+
+
+class Store:
+    """FIFO buffer of Python objects with finite or infinite capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        """Maximum number of items the store holds."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def put_queue(self) -> List[StorePut]:
+        """Pending (blocked) put events."""
+        return self._put_waiters
+
+    @property
+    def get_queue(self) -> List[StoreGet]:
+        """Pending get events."""
+        return self._get_waiters
+
+    def put(self, item: Any) -> StorePut:
+        """Offer *item* to the store; the returned event fires on accept."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request the next item; the event's value is the item."""
+        return StoreGet(self)
+
+    # -- internals ------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        """Match pending puts and gets until nothing more can proceed."""
+        progressed = True
+        while progressed:
+            progressed = False
+            i = 0
+            while i < len(self._put_waiters):
+                event = self._put_waiters[i]
+                if self._do_put(event):
+                    self._put_waiters.pop(i)
+                    progressed = True
+                else:
+                    i += 1
+            i = 0
+            while i < len(self._get_waiters):
+                event = self._get_waiters[i]
+                if self._do_get(event):
+                    self._get_waiters.pop(i)
+                    progressed = True
+                else:
+                    i += 1
+
+
+class FilterStore(Store):
+    """Store whose getters may select items with an arbitrary predicate.
+
+    Getters are still served in FIFO order, but a getter whose filter
+    matches no current item does not block getters behind it.
+    """
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:
+        """Request the first item satisfying *filter*."""
+        return FilterStoreGet(self, filter)
+
+    def _do_get(self, event: StoreGet) -> bool:
+        filt = getattr(event, "filter", None) or (lambda item: True)
+        for i, item in enumerate(self.items):
+            if filt(item):
+                self.items.pop(i)
+                event.succeed(item)
+                return True
+        return False

@@ -1,0 +1,31 @@
+"""``repro.expdesign`` — 2^k·r factorial designs and their analysis.
+
+Provides the paper's §4.1 methodology: full factorial designs,
+allocation of variation (what the paper presents as "principal
+component analysis"), true PCA as an independent cross-check, and
+t-based confidence intervals on simulation output.
+"""
+
+from .batchmeans import BatchMeansResult, batch_means, lag1_autocorrelation
+from .confidence import MeanCI, mean_confidence_interval, repetitions_needed
+from .effects import EffectShare, VariationResult, allocate_variation
+from .factorial import Factor, FactorialDesign
+from .fractional import FractionalFactorialDesign
+from .pca import PCAResult, pca
+
+__all__ = [
+    "Factor",
+    "FactorialDesign",
+    "FractionalFactorialDesign",
+    "batch_means",
+    "BatchMeansResult",
+    "lag1_autocorrelation",
+    "allocate_variation",
+    "VariationResult",
+    "EffectShare",
+    "pca",
+    "PCAResult",
+    "mean_confidence_interval",
+    "MeanCI",
+    "repetitions_needed",
+]

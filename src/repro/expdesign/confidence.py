@@ -1,0 +1,86 @@
+"""Confidence intervals on simulation output (the paper uses 90 %).
+
+"The mean values of the two metrics ... are derived within 90 %
+confidence intervals from a sample of fifty values" (§4.1).  These
+helpers provide the t-based interval and the repetition-count check
+("is r large enough for the target half-width?").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MeanCI", "mean_confidence_interval", "repetitions_needed"]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A mean with its confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    level: float
+    n: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (∞ for a zero mean)."""
+        if self.mean == 0:
+            return math.inf
+        return abs(self.half_width / self.mean)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def mean_confidence_interval(
+    data: Sequence[float], level: float = 0.90
+) -> MeanCI:
+    """t-based CI for the mean of iid observations."""
+    from scipy.stats import t as t_dist
+
+    arr = np.asarray(data, dtype=float)
+    n = arr.size
+    if n < 2:
+        raise ValueError("need at least two observations for a CI")
+    if not 0 < level < 1:
+        raise ValueError("level must be in (0, 1)")
+    mean = float(arr.mean())
+    sem = float(arr.std(ddof=1) / math.sqrt(n))
+    h = float(t_dist.ppf(0.5 + level / 2.0, n - 1)) * sem
+    return MeanCI(mean=mean, low=mean - h, high=mean + h, level=level, n=n)
+
+
+def repetitions_needed(
+    data: Sequence[float],
+    target_relative_half_width: float,
+    level: float = 0.90,
+) -> int:
+    """Estimate how many repetitions reach the target relative precision.
+
+    Standard pilot-run sizing: n* = (z s / (ε x̄))², rounded up, at
+    least the pilot size.
+    """
+    from scipy.stats import norm
+
+    arr = np.asarray(data, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need a pilot sample of at least two observations")
+    if target_relative_half_width <= 0:
+        raise ValueError("target_relative_half_width must be positive")
+    mean = float(arr.mean())
+    if mean == 0:
+        raise ValueError("cannot size repetitions for a zero-mean response")
+    s = float(arr.std(ddof=1))
+    z = float(norm.ppf(0.5 + level / 2.0))
+    n_star = (z * s / (target_relative_half_width * mean)) ** 2
+    return max(int(math.ceil(n_star)), arr.size)

@@ -1,0 +1,103 @@
+"""2^k·r factorial experiment designs (Jain, chapters 17–18).
+
+The paper evaluates each architecture with a 2^k·r factorial design:
+k factors at two levels each, r repetitions per cell, followed by an
+allocation-of-variation analysis (:mod:`repro.expdesign.effects`).
+
+:class:`FactorialDesign` enumerates the 2^k runs in standard (Yates)
+order and produces the sign table including all interaction columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Factor", "FactorialDesign"]
+
+
+@dataclass(frozen=True)
+class Factor:
+    """A two-level experimental factor.
+
+    ``label`` is the single-letter code used in the paper's figures
+    (A = number of nodes, B = sampling period, ...).
+    """
+
+    name: str
+    low: Any
+    high: Any
+    label: str = ""
+
+    def level(self, sign: int) -> Any:
+        """Value at the −1 (low) or +1 (high) level."""
+        if sign not in (-1, 1):
+            raise ValueError("sign must be -1 or +1")
+        return self.low if sign == -1 else self.high
+
+
+class FactorialDesign:
+    """A full 2^k factorial over the given factors."""
+
+    def __init__(self, factors: Sequence[Factor]):
+        if not factors:
+            raise ValueError("need at least one factor")
+        labels = [f.label or f.name[0].upper() for f in factors]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"factor labels must be unique, got {labels}")
+        self.factors = list(factors)
+        self.labels = labels
+
+    @property
+    def k(self) -> int:
+        return len(self.factors)
+
+    @property
+    def n_runs(self) -> int:
+        return 2**self.k
+
+    # ------------------------------------------------------------------
+    def signs(self) -> np.ndarray:
+        """(2^k, k) matrix of ±1 in standard order (first factor fastest)."""
+        out = np.empty((self.n_runs, self.k), dtype=int)
+        for i, combo in enumerate(product((-1, 1), repeat=self.k)):
+            # product varies the *last* element fastest; reverse for Yates.
+            out[i] = combo[::-1]
+        return out
+
+    def runs(self) -> Iterator[Dict[str, Any]]:
+        """Yield factor-name → value mappings for all 2^k runs."""
+        for row in self.signs():
+            yield {
+                f.name: f.level(int(s)) for f, s in zip(self.factors, row)
+            }
+
+    # ------------------------------------------------------------------
+    def effect_columns(self) -> Tuple[List[str], np.ndarray]:
+        """Labels and sign columns for all main effects and interactions.
+
+        Returns ``(labels, matrix)`` where matrix has shape
+        ``(2^k, 2^k - 1)``: one column per effect (A, B, AB, C, AC, ...),
+        ordered by interaction order then position.
+        """
+        base = self.signs()
+        labels: List[str] = []
+        cols: List[np.ndarray] = []
+        for order in range(1, self.k + 1):
+            for idxs in combinations(range(self.k), order):
+                labels.append("".join(self.labels[i] for i in idxs))
+                col = np.ones(self.n_runs, dtype=int)
+                for i in idxs:
+                    col = col * base[:, i]
+                cols.append(col)
+        return labels, np.column_stack(cols)
+
+    def run_label(self, index: int) -> str:
+        """Compact description of run *index* (e.g. ``A+ B- C+``)."""
+        row = self.signs()[index]
+        return " ".join(
+            f"{lab}{'+' if s > 0 else '-'}" for lab, s in zip(self.labels, row)
+        )

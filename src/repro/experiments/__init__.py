@@ -1,0 +1,33 @@
+"""``repro.experiments`` — per-table / per-figure reproduction harness.
+
+Every evaluation artifact of the paper has a registered runner:
+
+>>> from repro.experiments import run, list_experiments
+>>> for e in list_experiments():
+...     print(e.id, "-", e.title)          # doctest: +SKIP
+>>> print(run("table3").format())          # doctest: +SKIP
+
+Or from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments figure17
+    python -m repro.experiments all --full
+"""
+
+from .registry import Experiment, get, list_experiments, run
+from .reporting import ArtifactGroup, SeriesSet, Table
+from .runners import MeanResults, metric_series, replicate, sweep
+
+__all__ = [
+    "run",
+    "get",
+    "list_experiments",
+    "Experiment",
+    "Table",
+    "SeriesSet",
+    "ArtifactGroup",
+    "replicate",
+    "sweep",
+    "metric_series",
+    "MeanResults",
+]

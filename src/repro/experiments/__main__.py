@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table4
+    python -m repro.experiments figure17 figure18
+    python -m repro.experiments all            # everything, quick mode
+    python -m repro.experiments all --full     # paper-scale (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .registry import get, list_experiments
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce tables/figures from the Paradyn IS paper",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="+",
+        help="experiment ids (e.g. table4 figure17), 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at paper scale instead of quick mode",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also save each artifact as <DIR>/<id>.json (+ .txt)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.ids == ["list"]:
+        for e in list_experiments():
+            print(f"{e.id:10s} {e.title}")
+        return 0
+
+    ids = args.ids
+    if ids == ["all"]:
+        ids = [e.id for e in list_experiments()]
+
+    status = 0
+    for id_ in ids:
+        try:
+            experiment = get(id_)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            status = 2
+            continue
+        t0 = time.time()
+        artifact = experiment.run(quick=not args.full)
+        elapsed = time.time() - t0
+        print(artifact.format())
+        if args.out:
+            from pathlib import Path
+
+            from .reporting import save_artifact
+
+            path = save_artifact(artifact, Path(args.out) / f"{id_}.json")
+            print(f"[saved to {path}]")
+        print(f"\n[{id_} completed in {elapsed:.1f}s]\n")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Registry mapping paper artifacts (table/figure ids) to runners.
+
+Each evaluation artifact of the paper is reproduced by a registered
+runner keyed by its id (``table1`` ... ``figure31``).  Runners accept a
+``quick`` flag: ``quick=True`` (the default, used by tests and the
+benchmark suite) uses shortened simulated durations and fewer
+repetitions; ``quick=False`` runs at paper scale.
+
+Usage::
+
+    from repro.experiments import run, list_experiments
+
+    artifact = run("figure17")
+    print(artifact.format())
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .reporting import Artifact
+
+__all__ = ["Experiment", "register", "get", "run", "list_experiments", "REGISTRY"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    id: str
+    title: str
+    paper_ref: str
+    runner: Callable[..., Artifact]
+    description: str = ""
+
+    def run(self, quick: Optional[bool] = None, **kwargs) -> Artifact:
+        if quick is None:
+            quick = os.environ.get("REPRO_FULL", "") != "1"
+        return self.runner(quick=quick, **kwargs)
+
+
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(
+    id: str, title: str, paper_ref: str, description: str = ""
+) -> Callable[[Callable[..., Artifact]], Callable[..., Artifact]]:
+    """Decorator registering a runner under a paper-artifact id."""
+
+    def decorator(fn: Callable[..., Artifact]) -> Callable[..., Artifact]:
+        if id in REGISTRY:
+            raise ValueError(f"experiment {id!r} already registered")
+        REGISTRY[id] = Experiment(
+            id=id, title=title, paper_ref=paper_ref, runner=fn,
+            description=description or (fn.__doc__ or "").strip().split("\n")[0],
+        )
+        return fn
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    """Import all experiment modules so their registrations run."""
+    from . import (  # noqa: F401
+        analytical_exp,
+        crossval,
+        extras,
+        mpp_exp,
+        now_exp,
+        smp_exp,
+        summary,
+        validation,
+        workload_exp,
+    )
+
+
+def get(id: str) -> Experiment:
+    """Look up an experiment by id."""
+    _ensure_loaded()
+    try:
+        return REGISTRY[id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {id!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def run(id: str, quick: Optional[bool] = None, **kwargs) -> Artifact:
+    """Run the experiment reproducing paper artifact *id*."""
+    return get(id).run(quick=quick, **kwargs)
+
+
+def list_experiments() -> List[Experiment]:
+    """All registered experiments, sorted by id."""
+    _ensure_loaded()
+    return [REGISTRY[k] for k in sorted(REGISTRY)]

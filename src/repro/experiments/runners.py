@@ -1,0 +1,135 @@
+"""Shared utilities for experiment runners: sweeps, repetitions, means.
+
+The paper runs every cell of a design r times and reports means within
+90 % confidence intervals; :func:`replicate` does the same, reusing the
+simulator with distinct replication substreams so repetitions are
+independent but comparisons across factor levels share random numbers
+(common random numbers, the variance-reduction the factorial design
+relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from statistics import mean
+from typing import Callable, Dict, List, Sequence
+
+from ..rocc.aggregate import simulate_aggregated
+from ..rocc.config import SimulationConfig
+from ..rocc.metrics import SimulationResults
+from ..rocc.system import simulate
+
+__all__ = ["MeanResults", "replicate", "metric_series", "sweep"]
+
+#: SimulationResults fields averaged by :func:`replicate`.
+_NUMERIC_FIELDS = [
+    "pd_cpu_time_per_node",
+    "main_cpu_time",
+    "pvmd_cpu_time_per_node",
+    "other_cpu_time_per_node",
+    "app_cpu_time_per_node",
+    "node0_pd_cpu_time",
+    "node0_app_cpu_time",
+    "pd_cpu_utilization_per_node",
+    "app_cpu_utilization_per_node",
+    "main_cpu_utilization",
+    "is_cpu_utilization_per_node",
+    "network_utilization",
+    "pd_network_utilization",
+    "monitoring_latency_forwarding",
+    "monitoring_latency_total",
+    "throughput_per_daemon",
+    "received_throughput",
+    "forward_calls_per_node",
+    "pipe_blocked_time",
+    "barrier_wait_time",
+]
+
+
+@dataclass
+class MeanResults:
+    """Replication means of a run, plus the raw per-rep results."""
+
+    results: List[SimulationResults]
+
+    def __getattr__(self, name: str):
+        # Average numeric metrics; fall back to the first repetition for
+        # everything else (config_summary, counters).
+        reps = object.__getattribute__(self, "results")
+        if name in _NUMERIC_FIELDS:
+            vals = [getattr(r, name) for r in reps]
+            vals = [v for v in vals if v == v]  # drop NaN
+            return mean(vals) if vals else float("nan")
+        return getattr(reps[0], name)
+
+    def raw(self, name: str) -> List[float]:
+        """Per-repetition values of one metric."""
+        return [getattr(r, name) for r in self.results]
+
+    # Derived conveniences mirroring SimulationResults.
+    @property
+    def pd_cpu_seconds_per_node(self) -> float:
+        return self.pd_cpu_time_per_node / 1e6
+
+    @property
+    def main_cpu_seconds(self) -> float:
+        return self.main_cpu_time / 1e6
+
+    @property
+    def is_cpu_seconds_per_node(self) -> float:
+        return (self.pd_cpu_time_per_node + self.main_cpu_time / self.nodes) / 1e6
+
+    @property
+    def monitoring_latency_forwarding_ms(self) -> float:
+        return self.monitoring_latency_forwarding / 1e3
+
+    @property
+    def monitoring_latency_total_ms(self) -> float:
+        return self.monitoring_latency_total / 1e3
+
+
+def replicate(
+    config: SimulationConfig,
+    repetitions: int = 3,
+    aggregated: bool = False,
+) -> MeanResults:
+    """Run *repetitions* independent replications of *config*."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    runner: Callable[[SimulationConfig], SimulationResults] = (
+        simulate_aggregated if aggregated else simulate
+    )
+    results = [
+        runner(config.with_(replication=config.replication + i))
+        for i in range(repetitions)
+    ]
+    return MeanResults(results)
+
+
+def sweep(
+    base: SimulationConfig,
+    parameter: str,
+    values: Sequence,
+    repetitions: int = 3,
+    aggregated: bool = False,
+    **extra,
+) -> List[MeanResults]:
+    """Replicate *base* once per value of *parameter*."""
+    valid = {f.name for f in fields(SimulationConfig)}
+    if parameter not in valid:
+        raise ValueError(f"unknown config parameter {parameter!r}")
+    return [
+        replicate(
+            base.with_(**{parameter: v}, **extra),
+            repetitions=repetitions,
+            aggregated=aggregated,
+        )
+        for v in values
+    ]
+
+
+def metric_series(
+    runs: Sequence[MeanResults], metric: str
+) -> List[float]:
+    """Extract one metric across a sweep."""
+    return [getattr(r, metric) for r in runs]

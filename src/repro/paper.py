@@ -1,0 +1,186 @@
+"""Structured metadata of the reproduced paper and its claims.
+
+This module is the machine-readable counterpart of EXPERIMENTS.md: the
+paper's identity, and every claim the reproduction targets with the
+experiment id that regenerates the evidence and the reproduction
+status.  ``tests/test_paper_manifest.py`` keeps it honest — every
+referenced experiment must exist in the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Tuple
+
+__all__ = ["PAPER", "CLAIMS", "Claim", "Status", "claims_by_status"]
+
+
+class Status(str, Enum):
+    """Reproduction outcome for one claim."""
+
+    REPRODUCED = "reproduced"  # shape and approximate factors match
+    REPRODUCED_WITH_CAVEAT = "reproduced_with_caveat"  # documented nuance
+    DIVERGES = "diverges"  # shape differs; cause documented
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One testable claim from the paper."""
+
+    id: str
+    text: str
+    source: str  # section / table / figure in the paper
+    experiments: Tuple[str, ...]  # registry ids producing the evidence
+    status: Status
+    note: str = ""
+
+
+PAPER = {
+    "title": "Modeling, Evaluation, and Testing of Paradyn Instrumentation System",
+    "authors": (
+        "Abdul Waheed",
+        "Diane T. Rover",
+        "Jeffrey K. Hollingsworth",
+    ),
+    "venue": "Supercomputing (SC)",
+    "year": 1996,
+}
+
+
+CLAIMS: List[Claim] = [
+    Claim(
+        id="bf-pd-overhead",
+        text="The BF policy reduces the Paradyn daemon's direct CPU "
+             "overhead by more than 60% relative to CF.",
+        source="Abstract, §5.2, Figure 30",
+        experiments=("figure30",),
+        status=Status.REPRODUCED,
+        note="64-66% measured in testbed mode",
+    ),
+    Claim(
+        id="bf-main-overhead",
+        text="The BF policy reduces the main Paradyn process's CPU "
+             "overhead by about 80%.",
+        source="§5.2, Figure 30",
+        experiments=("figure30",),
+        status=Status.REPRODUCED,
+        note="77-83% measured",
+    ),
+    Claim(
+        id="app-independence",
+        text="The overhead reduction under BF is not significantly "
+             "affected by the choice of application program.",
+        source="§5.2, Figure 31, Table 8",
+        experiments=("figure31",),
+        status=Status.REPRODUCED,
+        note="policy explains >99% of variation, application <0.1%",
+    ),
+    Claim(
+        id="model-validates",
+        text="The parameterized simulation model closely follows the "
+             "measurement-based results.",
+        source="§2.4, Table 3",
+        experiments=("table3",),
+        status=Status.REPRODUCED,
+    ),
+    Claim(
+        id="fitting-families",
+        text="Application CPU request lengths are best fit by a "
+             "lognormal distribution; network request lengths by an "
+             "exponential.",
+        source="§2.3.2, Figure 8, Table 2",
+        experiments=("figure8", "table2"),
+        status=Status.REPRODUCED,
+    ),
+    Claim(
+        id="now-period-dominates",
+        text="The sampling period is the single most important factor "
+             "for the daemon's CPU overhead on a NOW.",
+        source="§4.2.1, Figure 16",
+        experiments=("figure16", "table4"),
+        status=Status.REPRODUCED,
+        note="B explains ~65% here vs 68% in the paper, policy second "
+             "in both",
+    ),
+    Claim(
+        id="batch-knee",
+        text="Overhead drops sharply just past batch size 1 and levels "
+             "off; a batch size near the knee of the curve is desirable.",
+        source="§4.2.4, Figures 10 and 19",
+        experiments=("figure10", "figure19"),
+        status=Status.REPRODUCED,
+    ),
+    Claim(
+        id="smp-daemon-sizing",
+        text="Under CF, more daemons improve forwarding throughput at "
+             "higher CPU counts; under BF one daemon suffices for up to "
+             "16 processors.",
+        source="§4.3.2, Figure 21",
+        experiments=("figure21",),
+        status=Status.REPRODUCED_WITH_CAVEAT,
+        note="crossover reproduced at ~32 CPUs instead of ~4-8 (cost "
+             "scale); BF single-daemon sufficiency holds at 16",
+    ),
+    Claim(
+        id="pipe-blocking",
+        text="At small sampling periods the pipe fills and the sample-"
+             "generating application process blocks until the daemon "
+             "drains it.",
+        source="§4.3.3, Figure 23",
+        experiments=("figure23",),
+        status=Status.REPRODUCED,
+    ),
+    Claim(
+        id="tree-overhead",
+        text="Binary-tree forwarding raises daemon CPU overhead (merge "
+             "work) while leaving monitoring latency essentially "
+             "unchanged.",
+        source="§4.4.2, Figures 26-27",
+        experiments=("figure26", "figure27"),
+        status=Status.REPRODUCED,
+    ),
+    Claim(
+        id="bf-latency-tradeoff",
+        text="Choosing BF over CF trades lower direct overhead for "
+             "higher (accumulation-dominated) monitoring latency.",
+        source="§4.4.2, Figure 26",
+        experiments=("figure26",),
+        status=Status.REPRODUCED,
+    ),
+    Claim(
+        id="barrier-effect",
+        text="Frequent barrier operations reduce the application's CPU "
+             "occupancy, leaving the daemon relatively more CPU.",
+        source="§4.4.3, Figure 28",
+        experiments=("figure28",),
+        status=Status.REPRODUCED_WITH_CAVEAT,
+        note="reproduced as the daemon's share of busy CPU; raw daemon "
+             "demand is sampling-driven and barrier-independent",
+    ),
+    Claim(
+        id="mpp-latency-attribution",
+        text="Node count and sampling period are the most important "
+             "factors for MPP monitoring latency.",
+        source="§4.4.1, Figure 25",
+        experiments=("figure25",),
+        status=Status.DIVERGES,
+        note="with a contention-free network and receipt-at-delivery, "
+             "node count cannot influence latency; the central_ingress "
+             "option restores the dependence (see EXPERIMENTS.md)",
+    ),
+    Claim(
+        id="adaptive-outlook",
+        text="With a model of the IS, the system can adapt its behavior "
+             "to keep overheads within user-specified limits.",
+        source="§6 (outlook; implemented here as an extension)",
+        experiments=("extra_adaptive",),
+        status=Status.REPRODUCED,
+        note="regulator holds a 26% static overhead inside a 1% budget",
+    ),
+]
+
+
+def claims_by_status(status: Status) -> List[Claim]:
+    """All claims with the given reproduction status."""
+    return [c for c in CLAIMS if c.status is status]

@@ -1,0 +1,96 @@
+"""``repro.rocc`` — the Resource OCCupancy model of the Paradyn IS.
+
+This package is the paper's primary contribution: a discrete-event
+implementation of the ROCC queueing model (Figures 2 and 5) covering
+NOW, SMP, and MPP architectures, the CF and BF data-forwarding
+policies, direct and binary-tree forwarding topologies, finite
+application→daemon pipes, and global synchronization barriers.
+
+Entry point::
+
+    from repro.rocc import SimulationConfig, simulate
+
+    results = simulate(SimulationConfig(nodes=8, batch_size=32))
+    print(results.pd_cpu_seconds_per_node, results.monitoring_latency_total_ms)
+"""
+
+from .adaptive import (
+    AdaptiveSampler,
+    OverheadRegulator,
+    RegulatorConfig,
+    RegulatorDecision,
+)
+from .aggregate import AggregatedParadynISSystem, simulate_aggregated
+from .application import ApplicationProcess
+from .config import (
+    Architecture,
+    DaemonCostModel,
+    ForwardingTopology,
+    MainCostModel,
+    NetworkMode,
+    SimulationConfig,
+)
+from .cpu import CPUJob, ProcessorSharingCPU, RoundRobinCPU
+from .daemon import ParadynDaemon
+from .forwarding import (
+    children_indices,
+    expected_hops,
+    is_leaf,
+    parent_index,
+    tree_depth,
+)
+from .main_process import MainParadynProcess
+from .metrics import Metrics, SimulationResults
+from .network import BaseNetwork, ContentionFreeNetwork, FIFONetwork
+from .node import CyclicBarrier, NodeContext
+from .other import OtherProcesses, PVMDaemon
+from .perturbation import PerturbationReport, measure_perturbation
+from .pipes import SamplePipe
+from .requests import Batch, Sample
+from .system import ParadynISSystem, simulate
+from .tuning import BatchRecommendation, BatchSweepPoint, recommend_batch_size
+
+__all__ = [
+    "Architecture",
+    "ForwardingTopology",
+    "NetworkMode",
+    "SimulationConfig",
+    "DaemonCostModel",
+    "MainCostModel",
+    "simulate",
+    "simulate_aggregated",
+    "ParadynISSystem",
+    "AggregatedParadynISSystem",
+    "SimulationResults",
+    "Metrics",
+    "RoundRobinCPU",
+    "ProcessorSharingCPU",
+    "CPUJob",
+    "FIFONetwork",
+    "ContentionFreeNetwork",
+    "BaseNetwork",
+    "SamplePipe",
+    "Sample",
+    "Batch",
+    "ApplicationProcess",
+    "ParadynDaemon",
+    "MainParadynProcess",
+    "PVMDaemon",
+    "OtherProcesses",
+    "NodeContext",
+    "CyclicBarrier",
+    "RegulatorConfig",
+    "RegulatorDecision",
+    "OverheadRegulator",
+    "AdaptiveSampler",
+    "PerturbationReport",
+    "measure_perturbation",
+    "recommend_batch_size",
+    "BatchRecommendation",
+    "BatchSweepPoint",
+    "parent_index",
+    "children_indices",
+    "is_leaf",
+    "tree_depth",
+    "expected_hops",
+]

@@ -1,0 +1,122 @@
+"""Command-line ROCC simulation runner.
+
+Usage examples::
+
+    python -m repro.rocc --nodes 8 --period-ms 40 --batch 32
+    python -m repro.rocc --arch smp --nodes 16 --apps 32 --daemons 2
+    python -m repro.rocc --arch mpp --nodes 64 --tree --aggregated
+    python -m repro.rocc --nodes 4 --period-ms 2 --adaptive-budget 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .adaptive import RegulatorConfig
+from .aggregate import simulate_aggregated
+from .config import Architecture, ForwardingTopology, SimulationConfig
+from .metrics import SimulationResults
+from .system import simulate
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.rocc",
+        description="Simulate the Paradyn instrumentation system (ROCC model)",
+    )
+    parser.add_argument("--arch", choices=["now", "smp", "mpp"], default="now")
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="nodes (NOW/MPP) or CPUs (SMP)")
+    parser.add_argument("--apps", type=int, default=1,
+                        help="application processes per node (total on SMP)")
+    parser.add_argument("--daemons", type=int, default=1,
+                        help="Paradyn daemons (SMP only)")
+    parser.add_argument("--period-ms", type=float, default=40.0,
+                        help="sampling period, milliseconds")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="batch size (1 = CF policy)")
+    parser.add_argument("--tree", action="store_true",
+                        help="binary-tree forwarding (MPP)")
+    parser.add_argument("--barrier-ms", type=float, default=None,
+                        help="barrier period, milliseconds")
+    parser.add_argument("--duration-s", type=float, default=5.0,
+                        help="simulated duration, seconds")
+    parser.add_argument("--warmup-s", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--aggregated", action="store_true",
+                        help="use the large-n aggregated mode")
+    parser.add_argument("--uninstrumented", action="store_true",
+                        help="baseline run without the IS")
+    parser.add_argument("--adaptive-budget", type=float, default=None,
+                        help="enable overhead regulation at this CPU fraction")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    adaptive = (
+        RegulatorConfig(budget=args.adaptive_budget)
+        if args.adaptive_budget is not None
+        else None
+    )
+    return SimulationConfig(
+        architecture=Architecture(args.arch),
+        nodes=args.nodes,
+        app_processes_per_node=args.apps,
+        daemons=args.daemons,
+        sampling_period=args.period_ms * 1000.0,
+        batch_size=args.batch,
+        forwarding=(
+            ForwardingTopology.TREE if args.tree else ForwardingTopology.DIRECT
+        ),
+        barrier_period=(
+            args.barrier_ms * 1000.0 if args.barrier_ms is not None else None
+        ),
+        duration=args.duration_s * 1e6,
+        warmup=args.warmup_s * 1e6,
+        instrumented=not args.uninstrumented,
+        adaptive=adaptive,
+        seed=args.seed,
+    )
+
+
+def format_results(r: SimulationResults) -> str:
+    lines = [
+        f"configuration : {r.config_summary}",
+        f"Pd CPU/node   : {r.pd_cpu_seconds_per_node:.4f} s "
+        f"({100 * r.pd_cpu_utilization_per_node:.3f} %)",
+        f"main CPU      : {r.main_cpu_seconds:.4f} s "
+        f"({100 * r.main_cpu_utilization:.3f} %)",
+        f"app CPU/node  : {r.app_cpu_time_per_node / 1e6:.3f} s "
+        f"({100 * r.app_cpu_utilization_per_node:.1f} %)",
+        f"samples       : {r.samples_received}/{r.samples_generated} delivered",
+        f"throughput/Pd : {r.throughput_per_daemon:.1f} samples/s",
+    ]
+    if r.samples_received:
+        lines.append(
+            f"latency       : {r.monitoring_latency_forwarding_ms:.3f} ms "
+            f"forwarding, {r.monitoring_latency_total_ms:.1f} ms total"
+        )
+    if r.pipe_blocked_puts:
+        lines.append(
+            f"pipe blocking : {r.pipe_blocked_puts} puts, "
+            f"{r.pipe_blocked_time / 1e3:.1f} ms"
+        )
+    if r.barrier_rounds:
+        lines.append(f"barriers      : {r.barrier_rounds} rounds")
+    if r.merges_total:
+        lines.append(f"tree merges   : {r.merges_total}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    runner = simulate_aggregated if args.aggregated else simulate
+    results = runner(config)
+    print(format_results(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""The instrumented application process of the ROCC model.
+
+Implements the simplified two-state behaviour of Figure 7 — alternating
+Computation (CPU occupancy) and Communication (network occupancy)
+bursts — augmented with:
+
+* the **sampling timer**: every ``sampling_period`` a performance-data
+  sample is created and written into the daemon pipe; a full pipe
+  blocks the application, the effect §4.3.3 analyzes;
+* optional **global barriers** every ``barrier_period`` µs of CPU work
+  (Figure 28): a burst never crosses a barrier point, and the process
+  waits until every application process in the system arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..workload.records import ProcessType
+from .node import CyclicBarrier, NodeContext
+from .pipes import SamplePipe
+from .requests import Sample
+
+__all__ = ["ApplicationProcess"]
+
+
+class ApplicationProcess:
+    """One application process on one node.
+
+    ``sampler_state``, when given, is an
+    :class:`~repro.rocc.adaptive.AdaptiveSampler` whose ``period`` the
+    sampling timer re-reads every tick, letting an overhead regulator
+    adjust the rate mid-run.
+    """
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        pid: int,
+        pipe: Optional[SamplePipe],
+        barrier: Optional[CyclicBarrier] = None,
+        sampler_state=None,
+    ):
+        self.ctx = ctx
+        self.pid = pid
+        self.pipe = pipe
+        self.barrier = barrier
+        self.sampler_state = sampler_state
+        wl = ctx.config.workload
+        prefix = f"node{ctx.node_id}/app{pid}"
+        self._cpu_var = ctx.streams.variates(f"{prefix}/cpu", wl.app_cpu)
+        self._net_var = ctx.streams.variates(f"{prefix}/network", wl.app_network)
+        self._due: Deque[Sample] = deque()
+        #: CPU work done since the last barrier, µs.
+        self._work_since_barrier = 0.0
+        self.proc = ctx.env.process(self._run(), name=f"{prefix}/main")
+        if ctx.config.instrumented and pipe is not None:
+            ctx.env.process(self._sampler(), name=f"{prefix}/sampler")
+
+    # ------------------------------------------------------------------
+    def _sampler(self):
+        """Create one sample per sampling period (Figure 6's timer)."""
+        env = self.ctx.env
+        metrics = self.ctx.metrics
+        node = self.ctx.node_id
+        while True:
+            period = (
+                self.sampler_state.period
+                if self.sampler_state is not None
+                else self.ctx.config.sampling_period
+            )
+            yield env.timeout(period)
+            self._due.append(Sample(created_at=env.now, node=node, pid=self.pid))
+            metrics.samples_generated += 1
+
+    def _run(self):
+        env = self.ctx.env
+        cpu = self.ctx.cpu
+        network = self.ctx.network
+        metrics = self.ctx.metrics
+        barrier_period = self.ctx.config.barrier_period
+        while True:
+            # Emit pending samples first; a full pipe blocks us here,
+            # freeing the CPU (the §4.3.3 mechanism).
+            while self._due:
+                sample = self._due.popleft()
+                yield self.pipe.put(sample)
+
+            work = self._cpu_var()
+            if barrier_period is not None:
+                # A burst never crosses a barrier point.
+                remaining = barrier_period - self._work_since_barrier
+                if work > remaining:
+                    work = remaining
+            yield cpu.execute(work, ProcessType.APPLICATION)
+
+            if barrier_period is not None:
+                self._work_since_barrier += work
+                if self._work_since_barrier >= barrier_period - 1e-9:
+                    self._work_since_barrier = 0.0
+                    t0 = env.now
+                    yield self.barrier.arrive()
+                    metrics.barrier_wait_time += env.now - t0
+
+            yield network.transfer(self._net_var(), ProcessType.APPLICATION)
+            metrics.app_cycles += 1

@@ -1,0 +1,163 @@
+"""Metric collection for ROCC simulations.
+
+Two latency definitions coexist in the paper (reconciled here, see
+EXPERIMENTS.md):
+
+* **forwarding latency** — residence time of a forwarding unit (sample
+  under CF, batch under BF) in the daemon-CPU + network tandem, i.e.
+  equation (4)'s R(λ).  This is what the NOW/SMP figures plot: it is
+  *lower* under BF (fewer forwarding operations → less contention).
+* **total latency** — sample creation to receipt at the main process,
+  *including* batch accumulation wait (≈ b·T/2 under BF).  This is what
+  the MPP figures plot: it is *higher* under BF, the trade-off §4.4.2
+  discusses.
+
+:class:`Metrics` accumulates raw counters during the run;
+:class:`SimulationResults` is the frozen outcome with every metric the
+paper reports, already averaged/normalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..des.monitor import Tally
+from ..workload.records import ProcessType
+
+__all__ = ["Metrics", "SimulationResults"]
+
+
+class Metrics:
+    """Mutable accumulator attached to one simulation run."""
+
+    def __init__(self) -> None:
+        #: Forwarding-unit residence time (ready → receipt), µs.
+        self.latency_forwarding = Tally("latency_forwarding")
+        #: Sample creation → receipt, incl. batch accumulation, µs.
+        self.latency_total = Tally("latency_total")
+        self.samples_generated = 0
+        self.samples_received = 0
+        self.batches_received = 0
+        #: Samples forwarded per daemon node (local throughput numerator).
+        self.forwarded_by_node: Dict[int, int] = {}
+        #: Forwarding calls (system calls) per daemon node.
+        self.forward_calls_by_node: Dict[int, int] = {}
+        #: Merge operations performed by tree daemons, per node.
+        self.merges_by_node: Dict[int, int] = {}
+        #: Total time application writers spent blocked on full pipes, µs.
+        self.pipe_blocked_time = 0.0
+        self.pipe_blocked_puts = 0
+        #: Completed application compute/communicate cycles.
+        self.app_cycles = 0
+        #: Barrier waits observed (sum of per-process wait time), µs.
+        self.barrier_wait_time = 0.0
+        self.barrier_rounds = 0
+
+    def reset(self) -> None:
+        """Restart all accumulators (used at the end of warmup)."""
+        self.__init__()
+
+    def note_forward(self, node: int, n_samples: int) -> None:
+        self.forwarded_by_node[node] = self.forwarded_by_node.get(node, 0) + n_samples
+        self.forward_calls_by_node[node] = self.forward_calls_by_node.get(node, 0) + 1
+
+    def note_merge(self, node: int) -> None:
+        self.merges_by_node[node] = self.merges_by_node.get(node, 0) + 1
+
+    def note_receipt(self, now: float, created_at: float, ready_at: float) -> None:
+        self.samples_received += 1
+        self.latency_total.observe(now - created_at)
+        self.latency_forwarding.observe(now - ready_at)
+
+
+@dataclass
+class SimulationResults:
+    """Frozen outcome of one ROCC simulation run.
+
+    Times are in µs unless stated; utilizations are fractions in [0, 1].
+    "Per node" quantities are averaged over nodes for the global level
+    of detail; ``node0_*`` fields give the arbitrarily-selected single
+    node used by the paper's local level of detail.
+    """
+
+    # Run identity.
+    config_summary: str
+    duration: float  # measured duration (post-warmup), µs
+    nodes: int
+
+    # Direct IS overhead (per node averages).
+    pd_cpu_time_per_node: float
+    main_cpu_time: float
+    pvmd_cpu_time_per_node: float = 0.0
+    other_cpu_time_per_node: float = 0.0
+    app_cpu_time_per_node: float = 0.0
+
+    # Single-node (local detail) values.
+    node0_pd_cpu_time: float = 0.0
+    node0_app_cpu_time: float = 0.0
+
+    # Utilizations.
+    pd_cpu_utilization_per_node: float = 0.0
+    app_cpu_utilization_per_node: float = 0.0
+    main_cpu_utilization: float = 0.0
+    is_cpu_utilization_per_node: float = 0.0
+    network_utilization: float = 0.0
+    pd_network_utilization: float = 0.0
+
+    # Latency / throughput.
+    monitoring_latency_forwarding: float = float("nan")
+    monitoring_latency_total: float = float("nan")
+    throughput_per_daemon: float = 0.0  # samples forwarded / sec / daemon
+    received_throughput: float = 0.0  # samples received at main / sec
+
+    # Counters.
+    samples_generated: int = 0
+    samples_received: int = 0
+    batches_received: int = 0
+    forward_calls_per_node: float = 0.0
+    merges_total: int = 0
+
+    # Pipe / barrier diagnostics.
+    pipe_blocked_time: float = 0.0
+    pipe_blocked_puts: int = 0
+    barrier_wait_time: float = 0.0
+    barrier_rounds: int = 0
+    app_cycles: int = 0
+
+    # Raw per-node CPU busy breakdown (µs), keyed by (node, process type).
+    cpu_busy: Dict = field(default_factory=dict, repr=False)
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration / 1e6
+
+    @property
+    def pd_cpu_seconds_per_node(self) -> float:
+        """Direct Pd overhead as CPU-seconds (Table 4/5/6 units)."""
+        return self.pd_cpu_time_per_node / 1e6
+
+    @property
+    def main_cpu_seconds(self) -> float:
+        return self.main_cpu_time / 1e6
+
+    @property
+    def is_cpu_seconds_per_node(self) -> float:
+        """IS (daemons + main) CPU-seconds per node — Table 5 units."""
+        return (self.pd_cpu_time_per_node + self.main_cpu_time / self.nodes) / 1e6
+
+    @property
+    def monitoring_latency_forwarding_ms(self) -> float:
+        return self.monitoring_latency_forwarding / 1e3
+
+    @property
+    def monitoring_latency_total_ms(self) -> float:
+        return self.monitoring_latency_total / 1e3
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of generated samples that reached the main process."""
+        if self.samples_generated == 0:
+            return float("nan")
+        return self.samples_received / self.samples_generated

@@ -1,0 +1,165 @@
+"""Network resources of the ROCC model.
+
+Three interconnect models cover the paper's architectures:
+
+* :class:`FIFONetwork` — a single shared server: the NOW Ethernet and
+  the SMP bus.  Requests queue in arrival order ("network delays are
+  represented by the arrivals to a single server buffer" — Figure 2).
+* :class:`ContentionFreeNetwork` — the MPP assumption (§4.4): transfers
+  never queue against each other; occupancy is still accounted so
+  utilization-style metrics remain meaningful.
+
+Both support a ``deliver`` callback per transfer so forwarding
+topologies can hand batches to the receiving daemon or the main Paradyn
+process at delivery time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ..des.core import Environment
+from ..des.events import Event
+from ..des.monitor import TimeWeighted
+from ..workload.records import ProcessType
+
+__all__ = ["BaseNetwork", "FIFONetwork", "ContentionFreeNetwork"]
+
+DeliverFn = Callable[[object], None]
+
+
+class BaseNetwork:
+    """Common occupancy accounting for all interconnect models."""
+
+    def __init__(self, env: Environment, name: str = "network"):
+        self.env = env
+        self.name = name
+        #: Accumulated network occupancy per owning process class, µs.
+        self.busy_by_owner: Dict[ProcessType, float] = {}
+        #: Time-weighted number of in-flight transfers.
+        self.in_flight = TimeWeighted(f"{name}.in_flight", start_time=env.now)
+        #: Completed transfer count.
+        self.transfers = 0
+
+    def transfer(
+        self,
+        amount: float,
+        owner: ProcessType,
+        payload: object = None,
+        deliver: Optional[DeliverFn] = None,
+    ) -> Event:
+        """Occupy the network for *amount* µs on behalf of *owner*.
+
+        The returned event fires when the transfer completes; *deliver*
+        (if given) is invoked with *payload* at completion time, before
+        waiters resume.
+        """
+        raise NotImplementedError
+
+    def busy_time(self, owner: ProcessType) -> float:
+        """Total network occupancy by *owner* so far, µs."""
+        return self.busy_by_owner.get(owner, 0.0)
+
+    def total_busy_time(self) -> float:
+        return sum(self.busy_by_owner.values())
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Busy fraction (single-server semantics: busy time / elapsed)."""
+        t = self.env.now if now is None else now
+        return self.total_busy_time() / t if t > 0 else 0.0
+
+    def _account(self, amount: float, owner: ProcessType) -> None:
+        self.busy_by_owner[owner] = self.busy_by_owner.get(owner, 0.0) + amount
+        self.transfers += 1
+
+
+class FIFONetwork(BaseNetwork):
+    """Single shared server with a FIFO queue (Ethernet / bus)."""
+
+    def __init__(self, env: Environment, name: str = "network"):
+        super().__init__(env, name)
+        self._queue: Deque[Tuple[float, ProcessType, object, Optional[DeliverFn], Event]] = deque()
+        self._wake: Optional[Event] = None
+        env.process(self._server(), name=f"{name}.server")
+
+    def transfer(
+        self,
+        amount: float,
+        owner: ProcessType,
+        payload: object = None,
+        deliver: Optional[DeliverFn] = None,
+    ) -> Event:
+        done = Event(self.env)
+        if amount <= 0.0:
+            if deliver is not None:
+                deliver(payload)
+            done.succeed()
+            return done
+        self._queue.append((float(amount), owner, payload, deliver, done))
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        return done
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _server(self):
+        env = self.env
+        while True:
+            if not self._queue:
+                self._wake = Event(env)
+                yield self._wake
+                self._wake = None
+                continue
+            amount, owner, payload, deliver, done = self._queue.popleft()
+            self.in_flight.increment(+1, env.now)
+            yield env.timeout(amount)
+            self.in_flight.increment(-1, env.now)
+            self._account(amount, owner)
+            if deliver is not None:
+                deliver(payload)
+            done.succeed()
+
+
+class ContentionFreeNetwork(BaseNetwork):
+    """Infinite-server interconnect: transfers proceed independently.
+
+    Approximates "the behavior seen by a bandwidth tuned application
+    running on a scalable network" (§4.4).  Utilization is reported as
+    occupancy divided by elapsed time, i.e. the *offered load* in server
+    units, matching how the analytical model uses it.
+    """
+
+    def transfer(
+        self,
+        amount: float,
+        owner: ProcessType,
+        payload: object = None,
+        deliver: Optional[DeliverFn] = None,
+    ) -> Event:
+        done = Event(self.env)
+        if amount <= 0.0:
+            if deliver is not None:
+                deliver(payload)
+            done.succeed()
+            return done
+        self.env.process(self._one(amount, owner, payload, deliver, done))
+        return done
+
+    def _one(
+        self,
+        amount: float,
+        owner: ProcessType,
+        payload: object,
+        deliver: Optional[DeliverFn],
+        done: Event,
+    ):
+        self.in_flight.increment(+1, self.env.now)
+        yield self.env.timeout(amount)
+        self.in_flight.increment(-1, self.env.now)
+        self._account(amount, owner)
+        if deliver is not None:
+            deliver(payload)
+        done.succeed()

@@ -1,0 +1,73 @@
+"""Per-node wiring shared by all ROCC actors.
+
+:class:`NodeContext` bundles what every process on a node needs — the
+node's CPU scheduler, the interconnect, the metrics sink, the workload
+variate streams, and the run configuration.  :class:`CyclicBarrier`
+implements the global synchronization barrier of §4.4.3 (Figure 28).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..des.core import Environment
+from ..des.events import Event
+from ..variates.streams import StreamFactory
+from .config import SimulationConfig
+from .cpu import RoundRobinCPU
+from .metrics import Metrics
+from .network import BaseNetwork
+
+__all__ = ["NodeContext", "CyclicBarrier"]
+
+
+@dataclass
+class NodeContext:
+    """Everything a process running on one node can touch."""
+
+    env: Environment
+    node_id: int
+    cpu: RoundRobinCPU
+    network: BaseNetwork
+    metrics: Metrics
+    config: SimulationConfig
+    streams: StreamFactory
+
+
+class CyclicBarrier:
+    """A reusable synchronization barrier over ``parties`` processes.
+
+    ``arrive()`` returns an event that fires once all parties of the
+    current round have arrived; the barrier then resets for the next
+    round.  Used to model the application's synchronization barrier
+    operations whose frequency Figure 28 sweeps.
+    """
+
+    def __init__(self, env: Environment, parties: int, metrics: Optional[Metrics] = None):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.env = env
+        self.parties = parties
+        self.metrics = metrics
+        self._count = 0
+        self._event = Event(env)
+        self.rounds = 0
+
+    @property
+    def waiting(self) -> int:
+        """Parties currently blocked at the barrier."""
+        return self._count
+
+    def arrive(self) -> Event:
+        """Register arrival; the returned event fires on barrier release."""
+        self._count += 1
+        event = self._event
+        if self._count >= self.parties:
+            self._count = 0
+            self._event = Event(self.env)
+            self.rounds += 1
+            if self.metrics is not None:
+                self.metrics.barrier_rounds += 1
+            event.succeed()
+        return event

@@ -1,0 +1,75 @@
+"""Background load: the PVM daemon and other user/system processes.
+
+Both are *open* workloads in the ROCC model (Figure 5): their resource
+occupancy requests arrive on independent exponential clocks (Table 2)
+regardless of what the instrumented application is doing.  They matter
+because the direct-overhead metrics are defined against a realistically
+loaded node, and the validation run (Table 3) reproduces the measured
+Pd CPU time only when this background contention is present.
+"""
+
+from __future__ import annotations
+
+from ..workload.records import ProcessType
+from .node import NodeContext
+
+__all__ = ["PVMDaemon", "OtherProcesses"]
+
+
+class PVMDaemon:
+    """PVM message-passing daemon: CPU + network transaction per arrival."""
+
+    def __init__(self, ctx: NodeContext):
+        self.ctx = ctx
+        wl = ctx.config.workload
+        prefix = f"node{ctx.node_id}/pvmd"
+        self._inter = ctx.streams.variates(f"{prefix}/inter", wl.pvmd_interarrival)
+        self._cpu = ctx.streams.variates(f"{prefix}/cpu", wl.pvmd_cpu)
+        self._net = ctx.streams.variates(f"{prefix}/network", wl.pvmd_network)
+        ctx.env.process(self._run(), name=prefix)
+
+    def _run(self):
+        env = self.ctx.env
+        cpu = self.ctx.cpu
+        network = self.ctx.network
+        while True:
+            yield env.timeout(self._inter())
+            yield cpu.execute(self._cpu(), ProcessType.PVM_DAEMON)
+            yield network.transfer(self._net(), ProcessType.PVM_DAEMON)
+
+
+class OtherProcesses:
+    """Aggregate of other user/system processes on a node.
+
+    CPU and network requests arrive on separate clocks (Table 2 lists
+    distinct inter-arrival distributions for the two resources).
+    """
+
+    def __init__(self, ctx: NodeContext):
+        self.ctx = ctx
+        wl = ctx.config.workload
+        prefix = f"node{ctx.node_id}/other"
+        self._cpu_inter = ctx.streams.variates(
+            f"{prefix}/cpu_inter", wl.other_cpu_interarrival
+        )
+        self._cpu = ctx.streams.variates(f"{prefix}/cpu", wl.other_cpu)
+        self._net_inter = ctx.streams.variates(
+            f"{prefix}/net_inter", wl.other_network_interarrival
+        )
+        self._net = ctx.streams.variates(f"{prefix}/network", wl.other_network)
+        ctx.env.process(self._cpu_loop(), name=f"{prefix}/cpu")
+        ctx.env.process(self._net_loop(), name=f"{prefix}/network")
+
+    def _cpu_loop(self):
+        env = self.ctx.env
+        cpu = self.ctx.cpu
+        while True:
+            yield env.timeout(self._cpu_inter())
+            yield cpu.execute(self._cpu(), ProcessType.OTHER)
+
+    def _net_loop(self):
+        env = self.ctx.env
+        network = self.ctx.network
+        while True:
+            yield env.timeout(self._net_inter())
+            yield network.transfer(self._net(), ProcessType.OTHER)

@@ -1,0 +1,142 @@
+"""Batch-size tuning: operationalizing §4.2.4's recommendation.
+
+The paper concludes that "a value of batch size that is close to the
+'knee' of the latency curve is desirable": overhead falls super-linearly
+just past batch 1 and then flattens, while total monitoring latency
+grows linearly with the batch.  :func:`recommend_batch_size` runs the
+sweep and picks the knee — the smallest batch whose *marginal* overhead
+reduction drops below a threshold fraction of the CF overhead — subject
+to an optional latency ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .config import SimulationConfig
+from .system import simulate
+
+__all__ = ["BatchSweepPoint", "BatchRecommendation", "recommend_batch_size"]
+
+
+@dataclass(frozen=True)
+class BatchSweepPoint:
+    """One batch size's measured trade-off."""
+
+    batch_size: int
+    pd_cpu_utilization: float
+    monitoring_latency_total: float  # µs
+    samples_received: int
+
+
+@dataclass
+class BatchRecommendation:
+    """Outcome of the batch-size sweep."""
+
+    batch_size: int
+    points: List[BatchSweepPoint] = field(default_factory=list)
+    #: Why the sweep stopped where it did.
+    reason: str = ""
+
+    @property
+    def cf_overhead(self) -> float:
+        return self.points[0].pd_cpu_utilization
+
+    @property
+    def recommended_point(self) -> BatchSweepPoint:
+        for p in self.points:
+            if p.batch_size == self.batch_size:
+                return p
+        raise LookupError(self.batch_size)  # pragma: no cover
+
+    @property
+    def overhead_reduction(self) -> float:
+        """Fractional Pd overhead reduction at the recommendation."""
+        if self.cf_overhead == 0:
+            return 0.0
+        return 1.0 - self.recommended_point.pd_cpu_utilization / self.cf_overhead
+
+
+def recommend_batch_size(
+    config: SimulationConfig,
+    candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    marginal_gain_threshold: float = 0.10,
+    max_latency: Optional[float] = None,
+) -> BatchRecommendation:
+    """Sweep batch sizes on *config* and pick the knee.
+
+    Parameters
+    ----------
+    config:
+        The operating point (its own ``batch_size`` is ignored).  The
+        configured ``duration`` must comfortably exceed the largest
+        candidate's fill time (``batch · sampling_period``), or large
+        candidates cannot be evaluated.
+    candidates:
+        Increasing batch sizes to evaluate; must start at 1 (CF), which
+        anchors the marginal-gain normalization.
+    marginal_gain_threshold:
+        The knee is the last batch size whose step reduced Pd overhead
+        by at least this fraction of the CF overhead.
+    max_latency:
+        Optional ceiling (µs) on mean total monitoring latency: larger
+        batches violating it are excluded even before the knee rule.
+    """
+    cands = sorted(set(int(c) for c in candidates))
+    if not cands or cands[0] != 1:
+        raise ValueError("candidates must include 1 (the CF anchor)")
+    if not 0 < marginal_gain_threshold < 1:
+        raise ValueError("marginal_gain_threshold must be in (0, 1)")
+    fill = cands[-1] * config.sampling_period
+    if config.duration < 2 * fill:
+        raise ValueError(
+            f"duration {config.duration:g} µs cannot evaluate batch "
+            f"{cands[-1]} (fill time {fill:g} µs); lengthen the run or "
+            "trim the candidates"
+        )
+
+    points: List[BatchSweepPoint] = []
+    for b in cands:
+        r = simulate(config.with_(batch_size=b))
+        points.append(
+            BatchSweepPoint(
+                batch_size=b,
+                pd_cpu_utilization=r.pd_cpu_utilization_per_node,
+                monitoring_latency_total=r.monitoring_latency_total,
+                samples_received=r.samples_received,
+            )
+        )
+
+    cf = points[0].pd_cpu_utilization
+    feasible = [
+        p
+        for p in points
+        if max_latency is None
+        or (p.monitoring_latency_total == p.monitoring_latency_total
+            and p.monitoring_latency_total <= max_latency)
+    ]
+    if not feasible:
+        return BatchRecommendation(
+            batch_size=1, points=points,
+            reason="no candidate satisfied the latency ceiling; staying CF",
+        )
+
+    best = feasible[0]
+    reason = "CF anchor"
+    for prev, cur in zip(points, points[1:]):
+        if cur not in feasible:
+            reason = f"stopped at latency ceiling before batch {cur.batch_size}"
+            break
+        gain = (prev.pd_cpu_utilization - cur.pd_cpu_utilization) / cf if cf else 0.0
+        if gain < marginal_gain_threshold:
+            reason = (
+                f"marginal gain {gain:.1%} below threshold at batch "
+                f"{cur.batch_size}"
+            )
+            break
+        best = cur
+        reason = f"knee at batch {best.batch_size}"
+    return BatchRecommendation(
+        batch_size=best.batch_size, points=points, reason=reason
+    )

@@ -1,0 +1,75 @@
+"""``repro.variates`` — distributions, random streams, fitting, GoF tests.
+
+The workload-characterization substrate of the reproduction: the
+distribution families of Table 2, Law & Kelton MLE fitting, the
+goodness-of-fit machinery behind Figure 8, and reproducible named
+random streams used by every simulation entity.
+"""
+
+from .distributions import (
+    Deterministic,
+    Distribution,
+    Empirical,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Lognormal,
+    Normal,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+from .fitting import (
+    CANDIDATE_FAMILIES,
+    FitResult,
+    fit_best,
+    fit_exponential,
+    fit_lognormal,
+    fit_normal,
+    fit_weibull,
+)
+from .goodness import (
+    ChiSquareResult,
+    HistogramSeries,
+    QQSeries,
+    anderson_darling,
+    chi_square_test,
+    histogram_series,
+    ks_statistic,
+    ks_test,
+    qq_series,
+)
+from .streams import AntitheticStream, StreamFactory, VariateStream
+
+__all__ = [
+    "Distribution",
+    "Deterministic",
+    "Uniform",
+    "Exponential",
+    "Erlang",
+    "Lognormal",
+    "Weibull",
+    "Normal",
+    "Hyperexponential",
+    "Pareto",
+    "Empirical",
+    "StreamFactory",
+    "VariateStream",
+    "AntitheticStream",
+    "FitResult",
+    "fit_exponential",
+    "fit_lognormal",
+    "fit_weibull",
+    "fit_normal",
+    "fit_best",
+    "CANDIDATE_FAMILIES",
+    "ks_statistic",
+    "ks_test",
+    "anderson_darling",
+    "chi_square_test",
+    "ChiSquareResult",
+    "qq_series",
+    "QQSeries",
+    "histogram_series",
+    "HistogramSeries",
+]

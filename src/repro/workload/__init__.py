@@ -1,0 +1,65 @@
+"""``repro.workload`` — traces, NAS profiles, characterization (§2.3).
+
+This package is the measurement substrate: an AIX-like synthetic trace
+facility, generative models of the NAS ``pvmbt``/``pvmis`` workloads,
+the Table-1/Table-2 characterization pipeline, and the process state
+machines of Figures 6 and 7.
+"""
+
+from .characterize import (
+    OccupancyStats,
+    RequestFit,
+    SummaryTable,
+    build_empirical_parameters,
+    build_parameters,
+    fit_requests,
+    summarize,
+)
+from .nas import PVMBT, PVMIS, BenchmarkProfile, ProcessProfile, benchmark_by_name
+from .parameters import (
+    CPU_QUANTUM_US,
+    PAPER_PARAMETERS,
+    TYPICAL_SAMPLING_PERIOD_US,
+    WorkloadParameters,
+)
+from .process_model import (
+    DETAILED_TRANSITIONS,
+    DetailedState,
+    ProcessStateMachine,
+    SimpleState,
+    legal_sequence,
+    simplify,
+)
+from .records import ProcessType, ResourceKind, TraceFile, TraceRecord
+from .tracing import AIXTraceFacility, TracingConfig
+
+__all__ = [
+    "ProcessType",
+    "ResourceKind",
+    "TraceRecord",
+    "TraceFile",
+    "AIXTraceFacility",
+    "TracingConfig",
+    "BenchmarkProfile",
+    "ProcessProfile",
+    "PVMBT",
+    "PVMIS",
+    "benchmark_by_name",
+    "WorkloadParameters",
+    "PAPER_PARAMETERS",
+    "CPU_QUANTUM_US",
+    "TYPICAL_SAMPLING_PERIOD_US",
+    "summarize",
+    "SummaryTable",
+    "OccupancyStats",
+    "fit_requests",
+    "RequestFit",
+    "build_parameters",
+    "build_empirical_parameters",
+    "DetailedState",
+    "SimpleState",
+    "DETAILED_TRANSITIONS",
+    "ProcessStateMachine",
+    "simplify",
+    "legal_sequence",
+]

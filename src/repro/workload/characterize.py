@@ -1,0 +1,253 @@
+"""Workload characterization pipeline: traces → Table 1 → Table 2.
+
+Given a trace (real or synthetic), this module computes
+
+* the per-process-class occupancy statistics of **Table 1**
+  (:func:`summarize`), and
+* fitted request-length distributions of **Table 2**
+  (:func:`fit_requests`), using the Law & Kelton MLEs with a
+  BIC-based parsimony rule so the nested exponential family wins over
+  Weibull when the data are exponential (as the paper concludes for
+  network requests), and
+* a ready-to-simulate :class:`~repro.workload.parameters.WorkloadParameters`
+  (:func:`build_parameters`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..variates.distributions import Distribution, Exponential, Lognormal
+from ..variates.fitting import FitResult, fit_best
+from .parameters import WorkloadParameters
+from .records import ProcessType, ResourceKind, TraceFile
+
+__all__ = [
+    "OccupancyStats",
+    "SummaryTable",
+    "summarize",
+    "RequestFit",
+    "fit_requests",
+    "build_parameters",
+    "build_empirical_parameters",
+]
+
+#: Free parameters per family, for the BIC parsimony rule.
+_N_PARAMS = {"exponential": 1, "weibull": 2, "lognormal": 2}
+
+
+@dataclass
+class OccupancyStats:
+    """One cell group of Table 1: moments of request lengths."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_data(cls, data: Sequence[float]) -> "OccupancyStats":
+        arr = np.asarray(data, dtype=float)
+        if arr.size == 0:
+            return cls(0, math.nan, math.nan, math.nan, math.nan)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+        )
+
+
+@dataclass
+class SummaryTable:
+    """Table 1 analogue: per process class, CPU and network stats."""
+
+    cpu: Dict[ProcessType, OccupancyStats]
+    network: Dict[ProcessType, OccupancyStats]
+
+    def row(self, ptype: ProcessType) -> Tuple[OccupancyStats, OccupancyStats]:
+        return self.cpu[ptype], self.network[ptype]
+
+    def format(self) -> str:
+        """Render in the layout of Table 1 (values in µs)."""
+        lines = [
+            f"{'Process Type':22s} {'CPU mean':>9s} {'std':>9s} {'min':>7s} "
+            f"{'max':>9s} | {'Net mean':>9s} {'std':>8s} {'min':>6s} {'max':>8s}"
+        ]
+        for ptype in ProcessType:
+            c = self.cpu.get(ptype)
+            n = self.network.get(ptype)
+            if c is None and n is None:
+                continue
+
+            def fmt(s: Optional[OccupancyStats]) -> List[str]:
+                if s is None or s.count == 0:
+                    return ["-"] * 4
+                return [
+                    f"{s.mean:.0f}",
+                    f"{s.std:.0f}",
+                    f"{s.minimum:.0f}",
+                    f"{s.maximum:.0f}",
+                ]
+
+            cf, nf = fmt(c), fmt(n)
+            lines.append(
+                f"{ptype.value:22s} {cf[0]:>9s} {cf[1]:>9s} {cf[2]:>7s} "
+                f"{cf[3]:>9s} | {nf[0]:>9s} {nf[1]:>8s} {nf[2]:>6s} {nf[3]:>8s}"
+            )
+        return "\n".join(lines)
+
+
+def summarize(trace: TraceFile) -> SummaryTable:
+    """Compute the Table-1 summary statistics from a trace."""
+    cpu: Dict[ProcessType, OccupancyStats] = {}
+    net: Dict[ProcessType, OccupancyStats] = {}
+    for ptype in ProcessType:
+        cpu_data = trace.durations(process_type=ptype, resource=ResourceKind.CPU)
+        net_data = trace.durations(process_type=ptype, resource=ResourceKind.NETWORK)
+        if cpu_data:
+            cpu[ptype] = OccupancyStats.from_data(cpu_data)
+        if net_data:
+            net[ptype] = OccupancyStats.from_data(net_data)
+    return SummaryTable(cpu=cpu, network=net)
+
+
+@dataclass
+class RequestFit:
+    """Chosen distribution for one (process class, resource) pair."""
+
+    process_type: ProcessType
+    resource: ResourceKind
+    family: str
+    distribution: Distribution
+    candidates: List[FitResult]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RequestFit({self.process_type.value}/{self.resource.value}: "
+            f"{self.family} {self.distribution!r})"
+        )
+
+
+def _bic(result: FitResult, n: int) -> float:
+    return _N_PARAMS[result.family] * math.log(n) - 2.0 * result.loglik
+
+
+def _select(data: Sequence[float]) -> Tuple[str, Distribution, List[FitResult]]:
+    """Fit the Figure-8 candidates and pick by BIC (parsimony-aware)."""
+    _, results = fit_best(data)
+    n = len(data)
+    best = min(results, key=lambda r: _bic(r, n))
+    return best.family, best.distribution, results
+
+
+def fit_requests(trace: TraceFile) -> List[RequestFit]:
+    """Fit request-length distributions per (class, resource) — Table 2."""
+    fits: List[RequestFit] = []
+    for ptype in ProcessType:
+        for resource in (ResourceKind.CPU, ResourceKind.NETWORK):
+            data = trace.durations(process_type=ptype, resource=resource)
+            if len(data) < 10:
+                continue
+            family, dist, candidates = _select(data)
+            fits.append(
+                RequestFit(
+                    process_type=ptype,
+                    resource=resource,
+                    family=family,
+                    distribution=dist,
+                    candidates=candidates,
+                )
+            )
+    return fits
+
+
+def build_parameters(trace: TraceFile) -> WorkloadParameters:
+    """Construct ROCC simulation parameters from a trace.
+
+    Mirrors §2.4 of the paper: distribution fits for request lengths;
+    classes missing from the trace keep their Table-2 defaults.
+    """
+    fits = {(f.process_type, f.resource): f.distribution for f in fit_requests(trace)}
+    params = WorkloadParameters()
+
+    def get(ptype: ProcessType, res: ResourceKind, default: Distribution) -> Distribution:
+        return fits.get((ptype, res), default)
+
+    params.app_cpu = get(ProcessType.APPLICATION, ResourceKind.CPU, params.app_cpu)
+    params.app_network = get(
+        ProcessType.APPLICATION, ResourceKind.NETWORK, params.app_network
+    )
+    params.pd_cpu = get(ProcessType.PARADYN_DAEMON, ResourceKind.CPU, params.pd_cpu)
+    params.pd_network = get(
+        ProcessType.PARADYN_DAEMON, ResourceKind.NETWORK, params.pd_network
+    )
+    params.pvmd_cpu = get(ProcessType.PVM_DAEMON, ResourceKind.CPU, params.pvmd_cpu)
+    params.pvmd_network = get(
+        ProcessType.PVM_DAEMON, ResourceKind.NETWORK, params.pvmd_network
+    )
+    params.other_cpu = get(ProcessType.OTHER, ResourceKind.CPU, params.other_cpu)
+    params.other_network = get(
+        ProcessType.OTHER, ResourceKind.NETWORK, params.other_network
+    )
+    params.main_cpu = get(ProcessType.PARADYN_MAIN, ResourceKind.CPU, params.main_cpu)
+    params.main_network = get(
+        ProcessType.PARADYN_MAIN, ResourceKind.NETWORK, params.main_network
+    )
+    params.pdm_cpu = params.pd_cpu
+    return params
+
+
+def build_empirical_parameters(
+    trace: TraceFile, min_observations: int = 30
+) -> WorkloadParameters:
+    """Trace-playback parameterization: resample the raw measurements.
+
+    Instead of the fitted families of :func:`build_parameters`, each
+    request-length distribution becomes an
+    :class:`~repro.variates.distributions.Empirical` over the observed
+    durations — the "drive the model straight from the trace" option
+    the workload-characterization literature (Hughes, cited in §2.2)
+    contrasts with distribution fitting.  Pairs with fewer than
+    ``min_observations`` records keep their Table-2 defaults.
+    """
+    from ..variates.distributions import Empirical
+
+    params = WorkloadParameters()
+
+    def maybe(ptype: ProcessType, res: ResourceKind, default: Distribution):
+        data = trace.durations(process_type=ptype, resource=res)
+        data = [d for d in data if d > 0]
+        if len(data) < min_observations:
+            return default
+        return Empirical(data)
+
+    params.app_cpu = maybe(ProcessType.APPLICATION, ResourceKind.CPU, params.app_cpu)
+    params.app_network = maybe(
+        ProcessType.APPLICATION, ResourceKind.NETWORK, params.app_network
+    )
+    params.pd_cpu = maybe(
+        ProcessType.PARADYN_DAEMON, ResourceKind.CPU, params.pd_cpu
+    )
+    params.pd_network = maybe(
+        ProcessType.PARADYN_DAEMON, ResourceKind.NETWORK, params.pd_network
+    )
+    params.pvmd_cpu = maybe(ProcessType.PVM_DAEMON, ResourceKind.CPU, params.pvmd_cpu)
+    params.pvmd_network = maybe(
+        ProcessType.PVM_DAEMON, ResourceKind.NETWORK, params.pvmd_network
+    )
+    params.other_cpu = maybe(ProcessType.OTHER, ResourceKind.CPU, params.other_cpu)
+    params.other_network = maybe(
+        ProcessType.OTHER, ResourceKind.NETWORK, params.other_network
+    )
+    params.main_cpu = maybe(
+        ProcessType.PARADYN_MAIN, ResourceKind.CPU, params.main_cpu
+    )
+    params.pdm_cpu = params.pd_cpu
+    return params

@@ -1,0 +1,172 @@
+"""Generative models of the NAS benchmark workloads used in the paper.
+
+The paper characterizes the workload from AIX traces of NAS ``pvmbt``
+(block-tridiagonal solver) and, in Section 5, also uses ``pvmis``
+(integer sort).  Neither the SP-2 nor the original traces are available,
+so this module provides **generative workload profiles**: for every
+process class, the distributions of CPU/network occupancy-request
+lengths it exhibits, matching the Table 1 statistics for ``pvmbt`` and a
+documented plausible analogue for ``pvmis``.
+
+The synthetic tracing facility (:mod:`repro.workload.tracing`) plays a
+profile forward to emit trace records; the characterization pipeline
+then recovers Table 1 / Table 2 from those records, exercising the same
+measurement → fitting → parameterization path as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..variates.distributions import Distribution, Exponential, Lognormal
+from .records import ProcessType
+
+__all__ = [
+    "ProcessProfile",
+    "BenchmarkProfile",
+    "PVMBT",
+    "PVMIS",
+    "benchmark_by_name",
+]
+
+
+@dataclass(frozen=True)
+class ProcessProfile:
+    """Occupancy behaviour of one process class.
+
+    ``cpu`` / ``network`` give the request-length distributions; the
+    optional inter-arrival distributions make the process *open*
+    (requests arrive on their own clock, e.g. the PVM daemon); when they
+    are ``None`` the process alternates compute/communicate back to back
+    (the closed, Figure-7 behaviour of the application).
+    """
+
+    cpu: Distribution
+    network: Distribution
+    cpu_interarrival: Optional[Distribution] = None
+    network_interarrival: Optional[Distribution] = None
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """A complete per-node workload: one profile per process class."""
+
+    name: str
+    description: str
+    processes: Dict[ProcessType, ProcessProfile] = field(default_factory=dict)
+    #: Fraction of wall time the application spends on CPU (used to pick
+    #: how many alternation cycles fit a given trace duration).
+    app_duty_cycle: float = 0.9
+
+    def profile(self, process_type: ProcessType) -> ProcessProfile:
+        try:
+            return self.processes[process_type]
+        except KeyError:
+            raise KeyError(
+                f"benchmark {self.name!r} has no profile for {process_type}"
+            ) from None
+
+
+def _pvmbt_processes() -> Dict[ProcessType, ProcessProfile]:
+    """Table 1 moments for NAS pvmbt on the SP-2."""
+    return {
+        ProcessType.APPLICATION: ProcessProfile(
+            cpu=Lognormal(2213, 3034),
+            network=Exponential(223),
+        ),
+        ProcessType.PARADYN_DAEMON: ProcessProfile(
+            cpu=Exponential(267),
+            network=Exponential(71),
+        ),
+        ProcessType.PVM_DAEMON: ProcessProfile(
+            cpu=Lognormal(294, 206),
+            network=Exponential(58),
+            cpu_interarrival=Exponential(6485),
+            network_interarrival=Exponential(6485),
+        ),
+        ProcessType.OTHER: ProcessProfile(
+            cpu=Lognormal(367, 819),
+            network=Exponential(92),
+            cpu_interarrival=Exponential(31_485),
+            network_interarrival=Exponential(5_598_903),
+        ),
+        ProcessType.PARADYN_MAIN: ProcessProfile(
+            cpu=Lognormal(3208, 3287),
+            network=Lognormal(214, 451),
+        ),
+    }
+
+
+def _pvmis_processes() -> Dict[ProcessType, ProcessProfile]:
+    """Plausible analogue for NAS pvmis (integer sort).
+
+    The paper does not tabulate pvmis moments; IS has shorter, bucketed
+    CPU phases and more frequent (small) key exchanges than BT.  Section
+    5 explicitly limits its scope to *CPU-intensive SPMD* applications,
+    so the profile keeps a pvmbt-like CPU duty cycle while changing the
+    burst structure.  What Section 5 tests — and what we verify — is
+    that the CF→BF overhead *reduction is insensitive to the application
+    choice*.
+    """
+    return {
+        ProcessType.APPLICATION: ProcessProfile(
+            cpu=Lognormal(850, 1100),
+            network=Exponential(85),
+        ),
+        ProcessType.PARADYN_DAEMON: ProcessProfile(
+            cpu=Exponential(267),
+            network=Exponential(71),
+        ),
+        ProcessType.PVM_DAEMON: ProcessProfile(
+            cpu=Lognormal(294, 206),
+            network=Exponential(58),
+            cpu_interarrival=Exponential(5200),
+            network_interarrival=Exponential(5200),
+        ),
+        ProcessType.OTHER: ProcessProfile(
+            cpu=Lognormal(367, 819),
+            network=Exponential(92),
+            cpu_interarrival=Exponential(31_485),
+            network_interarrival=Exponential(5_598_903),
+        ),
+        ProcessType.PARADYN_MAIN: ProcessProfile(
+            cpu=Lognormal(3208, 3287),
+            network=Lognormal(214, 451),
+        ),
+    }
+
+
+#: NAS pvmbt — block tridiagonal solver (Table 1 characterization).
+PVMBT = BenchmarkProfile(
+    name="pvmbt",
+    description=(
+        "NAS BT: solves three sets of uncoupled block-tridiagonal systems "
+        "(5x5 blocks) in x, y, z; compute-dominated with periodic exchanges"
+    ),
+    processes=_pvmbt_processes(),
+    app_duty_cycle=0.91,
+)
+
+#: NAS pvmis — integer sort kernel (plausible analogue, see module docs).
+PVMIS = BenchmarkProfile(
+    name="pvmis",
+    description=(
+        "NAS IS: parallel integer sort; short bucketed CPU phases with "
+        "frequent small key exchanges (CPU-bound per the paper's §5 scope)"
+    ),
+    processes=_pvmis_processes(),
+    app_duty_cycle=0.90,
+)
+
+_BY_NAME = {p.name: p for p in (PVMBT, PVMIS)}
+
+
+def benchmark_by_name(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by its NAS name (``pvmbt``/``pvmis``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,145 @@
+"""Process behaviour models of §2.3.1 (Figures 6 and 7).
+
+The *detailed* model extends the Unix process-state diagram with the
+instrumentation activities (data collection at sampling intervals, data
+forwarding over the network, process-spawn logging).  The *simplified*
+model collapses it to the two states that map onto ROCC resources:
+Computation (CPU) and Communication (network).
+
+These state machines are used to validate the synthetic traces (every
+emitted occupancy sequence must correspond to a legal walk of the
+detailed model) and to document the mapping the paper uses to justify
+its two-state workload characterization.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+__all__ = [
+    "DetailedState",
+    "SimpleState",
+    "DETAILED_TRANSITIONS",
+    "ProcessStateMachine",
+    "simplify",
+    "legal_sequence",
+]
+
+
+class DetailedState(str, Enum):
+    """States of the detailed model (Figure 6)."""
+
+    ADMIT = "admit"
+    READY = "ready"
+    RUNNING = "running"
+    COMMUNICATION = "communication"
+    BLOCKED = "blocked"
+    FORK = "fork"
+    EXIT = "exit"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class SimpleState(str, Enum):
+    """States of the simplified model (Figure 7)."""
+
+    COMPUTATION = "computation"
+    COMMUNICATION = "communication"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Legal transitions of the detailed model (Figure 6).  Keys are source
+#: states; values the set of permissible successors with the labelled
+#: cause from the figure.
+DETAILED_TRANSITIONS: Dict[DetailedState, Dict[DetailedState, str]] = {
+    DetailedState.ADMIT: {DetailedState.READY: "admit"},
+    DetailedState.READY: {DetailedState.RUNNING: "dispatch"},
+    DetailedState.RUNNING: {
+        DetailedState.READY: "time out",
+        DetailedState.COMMUNICATION: "data collection / network access",
+        DetailedState.BLOCKED: "wait",
+        DetailedState.FORK: "spawn",
+        DetailedState.EXIT: "release",
+    },
+    DetailedState.COMMUNICATION: {
+        DetailedState.RUNNING: "done",
+    },
+    DetailedState.BLOCKED: {DetailedState.READY: "resource available"},
+    DetailedState.FORK: {DetailedState.RUNNING: "log the new process"},
+    DetailedState.EXIT: {},
+}
+
+#: Mapping from detailed to simplified states (§2.3.1): Running maps to
+#: Computation; Communication (covering data collection, NFS, inter-node
+#: messaging) maps to Communication.  Scheduler-limbo states have no
+#: resource occupancy and therefore no simple-state image.
+_SIMPLIFY: Dict[DetailedState, SimpleState] = {
+    DetailedState.RUNNING: SimpleState.COMPUTATION,
+    DetailedState.FORK: SimpleState.COMPUTATION,
+    DetailedState.COMMUNICATION: SimpleState.COMMUNICATION,
+}
+
+
+def simplify(state: DetailedState) -> SimpleState | None:
+    """Map a detailed state to its Figure-7 image (None for limbo states)."""
+    return _SIMPLIFY.get(state)
+
+
+class ProcessStateMachine:
+    """Walks the detailed process model, enforcing legal transitions."""
+
+    def __init__(self) -> None:
+        self.state = DetailedState.ADMIT
+        self.history: List[Tuple[DetailedState, str]] = [(self.state, "start")]
+
+    @property
+    def terminated(self) -> bool:
+        return self.state is DetailedState.EXIT
+
+    def allowed(self) -> FrozenSet[DetailedState]:
+        """Successor states legal from the current state."""
+        return frozenset(DETAILED_TRANSITIONS[self.state])
+
+    def step(self, to: DetailedState) -> str:
+        """Transition to *to*; returns the transition label.
+
+        Raises ``ValueError`` on an illegal transition.
+        """
+        try:
+            label = DETAILED_TRANSITIONS[self.state][to]
+        except KeyError:
+            raise ValueError(
+                f"illegal transition {self.state.value} -> {to.value}"
+            ) from None
+        self.state = to
+        self.history.append((to, label))
+        return label
+
+    def simple_history(self) -> List[SimpleState]:
+        """Project the walk onto the simplified model, dropping limbo
+        states and collapsing repeats (Computation/Communication runs)."""
+        out: List[SimpleState] = []
+        for state, _ in self.history:
+            s = simplify(state)
+            if s is not None and (not out or out[-1] is not s):
+                out.append(s)
+        return out
+
+
+def legal_sequence(states: Iterable[DetailedState]) -> bool:
+    """Whether *states* (starting at ADMIT) is a legal walk of Figure 6."""
+    machine = ProcessStateMachine()
+    it = iter(states)
+    first = next(it, None)
+    if first is not DetailedState.ADMIT:
+        return False
+    for state in it:
+        try:
+            machine.step(state)
+        except ValueError:
+            return False
+    return True

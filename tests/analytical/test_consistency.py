@@ -1,0 +1,105 @@
+"""Cross-model consistency checks between the analytical variants.
+
+These pin down relationships the three §3 models must satisfy among
+themselves — useful regression armor independent of the simulator.
+"""
+
+import pytest
+
+from repro.analytical import (
+    ISDemands,
+    MPPAnalyticalModel,
+    NOWAnalyticalModel,
+    SMPAnalyticalModel,
+)
+
+
+def test_smp_with_one_cpu_one_daemon_matches_now_pd_utilization():
+    """An SMP with n=1 CPU and k=1 daemon serving one app process is the
+    single NOW node for the daemon's CPU utilization."""
+    now = NOWAnalyticalModel(nodes=1, sampling_period=40_000.0, batch_size=1)
+    smp = SMPAnalyticalModel(
+        nodes=1, sampling_period=40_000.0, batch_size=1,
+        app_processes=1, daemons=1,
+    )
+    assert smp.pd_cpu_utilization() == pytest.approx(now.pd_cpu_utilization())
+
+
+def test_mpp_direct_equals_now_for_all_metrics():
+    for batch in (1, 16, 128):
+        for nodes in (2, 64):
+            now = NOWAnalyticalModel(
+                nodes=nodes, sampling_period=10_000.0, batch_size=batch
+            )
+            mpp = MPPAnalyticalModel(
+                nodes=nodes, sampling_period=10_000.0, batch_size=batch,
+                tree=False,
+            )
+            assert mpp.pd_cpu_utilization() == now.pd_cpu_utilization()
+            assert mpp.pd_network_utilization() == now.pd_network_utilization()
+            assert mpp.app_cpu_utilization() == now.app_cpu_utilization()
+
+
+def test_utilizations_scale_linearly_in_arrival_rate():
+    """Doubling the per-node rate (half the period) doubles every open
+    utilization — linearity of the utilization law."""
+    slow = NOWAnalyticalModel(nodes=8, sampling_period=40_000.0)
+    fast = NOWAnalyticalModel(nodes=8, sampling_period=20_000.0)
+    assert fast.pd_cpu_utilization() == pytest.approx(
+        2 * slow.pd_cpu_utilization()
+    )
+    assert fast.paradyn_cpu_utilization() == pytest.approx(
+        2 * slow.paradyn_cpu_utilization()
+    )
+
+
+def test_batching_and_rate_are_interchangeable():
+    """λ depends on T·b only: (T, b) and (T/2, 2b) give equal rates."""
+    a = NOWAnalyticalModel(nodes=4, sampling_period=40_000.0, batch_size=4)
+    b = NOWAnalyticalModel(nodes=4, sampling_period=20_000.0, batch_size=8)
+    assert a.arrival_rate == pytest.approx(b.arrival_rate)
+    assert a.pd_cpu_utilization() == pytest.approx(b.pd_cpu_utilization())
+
+
+def test_tree_reduces_to_direct_when_merge_is_free():
+    free_merge = ISDemands(
+        d_pd_cpu=267.0, d_pd_network=71.0, d_main_cpu=3208.0, d_pdm_cpu=1e-12
+    )
+    tree = MPPAnalyticalModel(nodes=64, tree=True, demands=free_merge)
+    direct = MPPAnalyticalModel(nodes=64, tree=False, demands=free_merge)
+    assert tree.pd_cpu_utilization() == pytest.approx(
+        direct.pd_cpu_utilization(), rel=1e-6
+    )
+
+
+def test_smp_latency_approaches_now_like_shape_at_one_cpu():
+    """With one CPU the SMP's CPU residence term equals the NOW's."""
+    smp = SMPAnalyticalModel(
+        nodes=1, sampling_period=40_000.0, app_processes=1, daemons=1
+    )
+    now = NOWAnalyticalModel(nodes=1, sampling_period=40_000.0)
+    # Bus and network demands coincide (both 71 µs), so R matches when
+    # network utilizations do; with n=1 they differ only via eq (3)'s n
+    # factor, which is 1 here.
+    assert smp.monitoring_latency() == pytest.approx(
+        now.monitoring_latency(), rel=1e-9
+    )
+
+
+def test_mpp_tree_main_load_independent_of_node_count():
+    """Equation (14): the main process sees 2λ regardless of n (the tree
+    collapses everything through the root)."""
+    small = MPPAnalyticalModel(nodes=8, tree=True)
+    large = MPPAnalyticalModel(nodes=512, tree=True)
+    assert small.paradyn_cpu_utilization() == pytest.approx(
+        large.paradyn_cpu_utilization()
+    )
+
+
+def test_direct_main_load_grows_with_node_count():
+    """Equation (5): direct forwarding multiplies the main load by n."""
+    small = MPPAnalyticalModel(nodes=8, tree=False)
+    large = MPPAnalyticalModel(nodes=512, tree=False)
+    assert large.paradyn_cpu_utilization() == pytest.approx(
+        64 * small.paradyn_cpu_utilization()
+    )

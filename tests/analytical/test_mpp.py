@@ -1,0 +1,101 @@
+"""Tests for the MPP analytical model (equations 13–16)."""
+
+import pytest
+
+from repro.analytical import ISDemands, MPPAnalyticalModel, NOWAnalyticalModel
+
+
+def model(**kw):
+    base = dict(nodes=256, sampling_period=40_000.0, batch_size=1,
+                app_processes_per_node=1, tree=False)
+    base.update(kw)
+    return MPPAnalyticalModel(**base)
+
+
+def test_direct_matches_now_equations():
+    mpp = model(tree=False)
+    now = NOWAnalyticalModel(nodes=256, sampling_period=40_000.0, batch_size=1)
+    assert mpp.pd_cpu_utilization() == now.pd_cpu_utilization()
+    assert mpp.monitoring_latency() == now.monitoring_latency()
+    assert mpp.paradyn_cpu_utilization() == now.paradyn_cpu_utilization()
+
+
+def test_tree_pd_utilization_equation_13():
+    m = model(tree=True, nodes=8)
+    lam = m.arrival_rate
+    d_pd = d_pdm = 267.0
+    leaves = 4 * lam * d_pd
+    two_children = 3 * (lam * d_pd + 2 * lam * d_pdm)
+    one_child = lam * d_pdm + lam * d_pd
+    expected = (leaves + two_children + one_child) / 8
+    assert m.pd_cpu_utilization() == pytest.approx(expected)
+
+
+def test_tree_overhead_exceeds_direct():
+    assert model(tree=True).pd_cpu_utilization() > model(
+        tree=False
+    ).pd_cpu_utilization()
+
+
+def test_tree_pd_utilization_approaches_twice_direct():
+    """For large n, average merge arrivals -> λ per node, so tree CPU
+    utilization -> λ(D_pd + D_pdm) ≈ 2x direct when D_pdm = D_pd."""
+    direct = model(tree=False, nodes=1024).pd_cpu_utilization()
+    tree = model(tree=True, nodes=1024).pd_cpu_utilization()
+    assert tree == pytest.approx(2 * direct, rel=0.01)
+
+
+def test_equation_14_main_utilization():
+    m = model(tree=True)
+    assert m.paradyn_cpu_utilization() == pytest.approx(
+        2 * m.arrival_rate * 3208.0
+    )
+
+
+def test_equation_15_network_scales_like_cpu_structure():
+    m = model(tree=True, nodes=8)
+    lam = m.arrival_rate
+    d = 71.0
+    expected = (4 * lam * d + 3 * (lam * d + 2 * lam * d) + 2 * lam * d) / 8
+    assert m.pd_network_utilization() == pytest.approx(expected)
+
+
+def test_equation_16_latency_includes_merge_demand():
+    m = model(tree=True)
+    direct = model(tree=False)
+    assert m.monitoring_latency() > direct.monitoring_latency()
+
+
+def test_single_node_tree_degenerates():
+    m = model(tree=True, nodes=1)
+    assert m.pd_cpu_utilization() == pytest.approx(
+        m.arrival_rate * 267.0
+    )
+
+
+def test_batching_reduces_tree_overhead_too():
+    cf = model(tree=True, batch_size=1)
+    bf = model(tree=True, batch_size=32)
+    assert bf.pd_cpu_utilization() == pytest.approx(
+        cf.pd_cpu_utilization() / 32
+    )
+
+
+def test_custom_merge_demand():
+    cheap_merge = ISDemands(
+        d_pd_cpu=267.0, d_pd_network=71.0, d_main_cpu=3208.0, d_pdm_cpu=10.0
+    )
+    m = model(tree=True, demands=cheap_merge)
+    assert m.pd_cpu_utilization() < model(tree=True).pd_cpu_utilization()
+
+
+def test_app_utilization_complement():
+    m = model(tree=True)
+    assert m.app_cpu_utilization() == pytest.approx(
+        1 - m.pd_cpu_utilization()
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        model(nodes=0)

@@ -1,0 +1,93 @@
+"""Tests for the NOW analytical model (equations 1–6)."""
+
+import math
+
+import pytest
+
+from repro.analytical import ISDemands, NOWAnalyticalModel
+
+
+def model(**kw):
+    base = dict(nodes=8, sampling_period=40_000.0, batch_size=1,
+                app_processes_per_node=1)
+    base.update(kw)
+    return NOWAnalyticalModel(**base)
+
+
+def test_arrival_rate_equation_1():
+    m = model(sampling_period=40_000.0, batch_size=1, app_processes_per_node=1)
+    assert m.arrival_rate == pytest.approx(1 / 40_000.0)
+    m2 = model(batch_size=32, app_processes_per_node=4)
+    assert m2.arrival_rate == pytest.approx(4 / (40_000.0 * 32))
+
+
+def test_pd_cpu_utilization_equation_2():
+    m = model()
+    assert m.pd_cpu_utilization() == pytest.approx(267.0 / 40_000.0)
+
+
+def test_network_utilization_equation_3_scales_with_nodes():
+    assert model(nodes=16).pd_network_utilization() == pytest.approx(
+        2 * model(nodes=8).pd_network_utilization()
+    )
+
+
+def test_latency_equation_4_matches_figure9_scale():
+    """Figure 9 shows ~3.4e-4 s at T = 40 ms."""
+    m = model()
+    assert m.monitoring_latency() == pytest.approx(340.0, rel=0.02)
+
+
+def test_paradyn_utilization_equation_5():
+    m = model()
+    assert m.paradyn_cpu_utilization() == pytest.approx(
+        8 * (1 / 40_000.0) * 3208.0
+    )
+
+
+def test_app_utilization_equation_6():
+    m = model()
+    assert m.app_cpu_utilization() == pytest.approx(1 - 267.0 / 40_000.0)
+
+
+def test_bf_reduces_utilizations_by_batch_factor():
+    cf, bf = model(batch_size=1), model(batch_size=32)
+    assert bf.pd_cpu_utilization() == pytest.approx(
+        cf.pd_cpu_utilization() / 32
+    )
+    assert bf.paradyn_cpu_utilization() == pytest.approx(
+        cf.paradyn_cpu_utilization() / 32
+    )
+
+
+def test_latency_grows_toward_saturation():
+    # Tiny period + many nodes saturates the shared network.
+    m = model(nodes=32, sampling_period=1_000.0)
+    assert m.pd_network_utilization() > 1.0
+    assert math.isinf(m.monitoring_latency())
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        model(nodes=0)
+    with pytest.raises(ValueError):
+        model(sampling_period=0)
+    with pytest.raises(ValueError):
+        model(batch_size=0)
+    with pytest.raises(ValueError):
+        model(app_processes_per_node=0)
+
+
+def test_custom_demands():
+    d = ISDemands(d_pd_cpu=500.0, d_pd_network=100.0, d_main_cpu=1000.0,
+                  d_pdm_cpu=500.0)
+    m = model(demands=d)
+    assert m.pd_cpu_utilization() == pytest.approx(500.0 / 40_000.0)
+
+
+def test_shorter_period_raises_overhead_monotonically():
+    utils = [
+        model(sampling_period=t).pd_cpu_utilization()
+        for t in (64_000.0, 32_000.0, 16_000.0, 8_000.0)
+    ]
+    assert utils == sorted(utils)

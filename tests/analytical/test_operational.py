@@ -1,0 +1,63 @@
+"""Tests for the operational laws and demand constructions."""
+
+import math
+
+import pytest
+
+from repro.analytical import (
+    ISDemands,
+    forced_flow_law,
+    littles_law_population,
+    littles_law_response,
+    residence_time_open,
+    utilization_law,
+)
+from repro.rocc import DaemonCostModel, MainCostModel
+
+
+def test_utilization_law():
+    assert utilization_law(0.5, 2.0) == 1.0
+    assert utilization_law(0.0, 100.0) == 0.0
+    with pytest.raises(ValueError):
+        utilization_law(-1, 1)
+
+
+def test_forced_flow_law():
+    assert forced_flow_law(10.0, 3.0) == 30.0
+    with pytest.raises(ValueError):
+        forced_flow_law(1.0, -1.0)
+
+
+def test_littles_law():
+    assert littles_law_population(2.0, 5.0) == 10.0
+    assert littles_law_response(10.0, 2.0) == 5.0
+    assert math.isinf(littles_law_response(10.0, 0.0))
+
+
+def test_residence_time_open():
+    assert residence_time_open(100.0, 0.0) == 100.0
+    assert residence_time_open(100.0, 0.5) == 200.0
+    assert math.isinf(residence_time_open(100.0, 1.0))
+    assert math.isinf(residence_time_open(100.0, 1.5))
+    with pytest.raises(ValueError):
+        residence_time_open(-1.0, 0.5)
+
+
+def test_paper_demands_match_table2():
+    d = ISDemands.paper()
+    assert d.d_pd_cpu == 267.0
+    assert d.d_pd_network == 71.0
+    assert d.d_main_cpu == 3208.0
+    assert d.d_pdm_cpu == 267.0
+
+
+def test_cost_model_demands_scale_with_batch():
+    daemon, main = DaemonCostModel(), MainCostModel()
+    d1 = ISDemands.from_cost_models(daemon, main, batch_size=1)
+    d32 = ISDemands.from_cost_models(daemon, main, batch_size=32)
+    # Per-batch daemon CPU grows with batch (collection per sample).
+    assert d32.d_pd_cpu > d1.d_pd_cpu
+    # But per-sample cost shrinks.
+    assert d32.d_pd_cpu / 32 < d1.d_pd_cpu
+    # CF totals match the Table 2 exponential mean.
+    assert d1.d_pd_cpu == pytest.approx(267.0)

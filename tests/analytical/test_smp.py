@@ -1,0 +1,81 @@
+"""Tests for the SMP analytical model (equations 7–12)."""
+
+import pytest
+
+from repro.analytical import SMPAnalyticalModel
+
+
+def model(**kw):
+    base = dict(nodes=16, sampling_period=40_000.0, batch_size=1,
+                app_processes=32, daemons=1)
+    base.update(kw)
+    return SMPAnalyticalModel(**base)
+
+
+def test_arrival_rate_includes_daemon_factor():
+    assert model(daemons=2).arrival_rate == pytest.approx(
+        2 * model(daemons=1).arrival_rate
+    )
+    assert model().arrival_rate == pytest.approx(32 / 40_000.0)
+
+
+def test_equation_7_divides_by_cpus():
+    m = model()
+    expected = (32 / 40_000.0) * 267.0 / 16
+    assert m.pd_cpu_utilization() == pytest.approx(expected)
+
+
+def test_equation_8():
+    m = model()
+    expected = (32 / 40_000.0) * 3208.0 / 16
+    assert m.paradyn_cpu_utilization() == pytest.approx(expected)
+
+
+def test_equation_9_weighted_average():
+    m = model(daemons=3)
+    k = 3
+    expected = (
+        k * m.pd_cpu_utilization() + m.paradyn_cpu_utilization()
+    ) / (k + 1)
+    assert m.is_cpu_utilization() == pytest.approx(expected)
+
+
+def test_equation_10():
+    m = model()
+    assert m.app_cpu_utilization() == pytest.approx(1 - m.is_cpu_utilization())
+
+
+def test_equation_11_bus():
+    m = model()
+    assert m.bus_utilization() == pytest.approx((32 / 40_000.0) * 71.0)
+
+
+def test_equation_12_latency_components():
+    m = model()
+    cpu_term = (267.0 / 16) / (1 - m.pd_cpu_utilization())
+    bus_term = 71.0 / (1 - m.bus_utilization())
+    assert m.monitoring_latency() == pytest.approx(cpu_term + bus_term)
+
+
+def test_bus_demand_defaults_to_network_demand():
+    m = model()
+    assert m.d_pd_bus == 71.0
+    m2 = model(d_pd_bus=150.0)
+    assert m2.bus_utilization() == pytest.approx((32 / 40_000.0) * 150.0)
+
+
+def test_bf_lowers_is_utilization():
+    assert model(batch_size=32).is_cpu_utilization() < model().is_cpu_utilization()
+
+
+def test_more_cpus_dilute_is_utilization():
+    assert model(nodes=32).is_cpu_utilization() < model(nodes=8).is_cpu_utilization()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        model(nodes=0)
+    with pytest.raises(ValueError):
+        model(daemons=0)
+    with pytest.raises(ValueError):
+        model(batch_size=0)

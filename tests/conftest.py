@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.rocc import SimulationConfig
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fast_config() -> SimulationConfig:
+    """A small, fast ROCC configuration for integration tests."""
+    return SimulationConfig(
+        nodes=2,
+        duration=1_000_000.0,  # 1 simulated second
+        sampling_period=20_000.0,
+        batch_size=1,
+        seed=99,
+    )

@@ -1,0 +1,90 @@
+"""Tests for Container (level-based resource)."""
+
+import pytest
+
+from repro.des import Container
+
+
+def test_validation(env):
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=11)
+
+
+def test_initial_level(env):
+    c = Container(env, capacity=10, init=4)
+    assert c.level == 4
+
+
+def test_put_and_get(env):
+    c = Container(env, capacity=100)
+
+    def proc(env):
+        yield c.put(30)
+        yield c.get(10)
+
+    env.process(proc(env))
+    env.run()
+    assert c.level == 20
+
+
+def test_get_blocks_until_available(env):
+    c = Container(env, capacity=100)
+    log = []
+
+    def getter(env):
+        yield c.get(50)
+        log.append(env.now)
+
+    def putter(env):
+        yield env.timeout(5)
+        yield c.put(30)
+        yield env.timeout(5)
+        yield c.put(30)
+
+    env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    assert log == [10.0]
+    assert c.level == 10
+
+
+def test_put_blocks_at_capacity(env):
+    c = Container(env, capacity=10, init=8)
+    log = []
+
+    def putter(env):
+        yield c.put(5)
+        log.append(env.now)
+
+    def getter(env):
+        yield env.timeout(3)
+        yield c.get(4)
+
+    env.process(putter(env))
+    env.process(getter(env))
+    env.run()
+    assert log == [3.0]
+    assert c.level == 9
+
+
+def test_nonpositive_amount_rejected(env):
+    c = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        c.put(0)
+    with pytest.raises(ValueError):
+        c.get(-1)
+
+
+def test_cancel_pending_get(env):
+    c = Container(env, capacity=10)
+
+    def proc(env):
+        get = c.get(5)
+        yield env.timeout(1)
+        get.cancel()
+
+    env.process(proc(env))
+    env.run()
+    assert not c._get_waiters

@@ -1,0 +1,216 @@
+"""Tests for Resource, PriorityResource, and PreemptiveResource."""
+
+import pytest
+
+from repro.des import (
+    Interrupt,
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+    Resource,
+)
+
+
+def test_capacity_validation(env):
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_fifo_service_order(env):
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(env, name, hold):
+        with res.request() as req:
+            yield req
+            log.append((name, env.now))
+            yield env.timeout(hold)
+
+    for name, hold in (("a", 3), ("b", 2), ("c", 1)):
+        env.process(user(env, name, hold))
+    env.run()
+    assert log == [("a", 0.0), ("b", 3.0), ("c", 5.0)]
+
+
+def test_capacity_two_serves_in_parallel(env):
+    res = Resource(env, capacity=2)
+    done = []
+
+    def user(env, name):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+            done.append((name, env.now))
+
+    for n in "abc":
+        env.process(user(env, n))
+    env.run()
+    assert done == [("a", 10.0), ("b", 10.0), ("c", 20.0)]
+
+
+def test_count_and_queue(env):
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(100)
+
+    def waiter(env):
+        with res.request() as req:
+            yield req
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run(until=1.0)
+    assert res.count == 1
+    assert len(res.queue) == 1
+
+
+def test_release_via_context_manager(env):
+    res = Resource(env, capacity=1)
+
+    def user(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1)
+
+    env.process(user(env))
+    env.run()
+    assert res.count == 0
+
+
+def test_cancel_pending_request(env):
+    res = Resource(env, capacity=1)
+    got_second = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def impatient(env):
+        req = res.request()
+        yield env.timeout(2)  # give up before service
+        req.cancel()
+
+    def patient(env):
+        yield env.timeout(3)
+        with res.request() as req:
+            yield req
+            got_second.append(env.now)
+
+    env.process(holder(env))
+    env.process(impatient(env))
+    env.process(patient(env))
+    env.run()
+    # The cancelled request must not absorb the release at t=10.
+    assert got_second == [10.0]
+
+
+def test_release_of_non_user_raises(env):
+    res = Resource(env, capacity=1)
+
+    def user(env):
+        req = res.request()
+        yield req
+        res.release(req)
+        with pytest.raises(RuntimeError):
+            res.release(req)
+
+    env.process(user(env))
+    env.run()
+
+
+def test_priority_resource_orders_by_priority(env):
+    res = PriorityResource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(10)
+
+    def user(env, name, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            log.append(name)
+            yield env.timeout(1)
+
+    env.process(holder(env))
+    env.process(user(env, "low", 5, 1))
+    env.process(user(env, "high", 1, 2))  # arrives later, higher priority
+    env.run()
+    assert log == ["high", "low"]
+
+
+def test_preemptive_resource_evicts_lower_priority(env):
+    cpu = PreemptiveResource(env, capacity=1)
+    trace = []
+
+    def low(env):
+        with cpu.request(priority=5) as req:
+            yield req
+            try:
+                yield env.timeout(100)
+                trace.append("low finished")
+            except Interrupt as i:
+                assert isinstance(i.cause, Preempted)
+                trace.append(("low preempted at", env.now, i.cause.usage_since))
+
+    def high(env):
+        yield env.timeout(10)
+        with cpu.request(priority=1, preempt=True) as req:
+            yield req
+            trace.append(("high got", env.now))
+            yield env.timeout(5)
+
+    env.process(low(env))
+    env.process(high(env))
+    env.run()
+    assert trace == [("low preempted at", 10.0, 0.0), ("high got", 10.0)]
+
+
+def test_preempt_false_waits_instead(env):
+    cpu = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def low(env):
+        with cpu.request(priority=5) as req:
+            yield req
+            yield env.timeout(20)
+            log.append(("low done", env.now))
+
+    def high(env):
+        yield env.timeout(1)
+        with cpu.request(priority=1, preempt=False) as req:
+            yield req
+            log.append(("high got", env.now))
+
+    env.process(low(env))
+    env.process(high(env))
+    env.run()
+    assert log == [("low done", 20.0), ("high got", 20.0)]
+
+
+def test_equal_priority_does_not_preempt(env):
+    cpu = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def first(env):
+        with cpu.request(priority=3) as req:
+            yield req
+            yield env.timeout(10)
+            log.append("first done")
+
+    def second(env):
+        yield env.timeout(1)
+        with cpu.request(priority=3, preempt=True) as req:
+            yield req
+            log.append("second got")
+
+    env.process(first(env))
+    env.process(second(env))
+    env.run()
+    assert log == ["first done", "second got"]

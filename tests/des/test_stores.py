@@ -1,0 +1,197 @@
+"""Tests for Store and FilterStore (pipe-like buffers)."""
+
+import pytest
+
+from repro.des import FilterStore, Store
+
+
+def test_capacity_validation(env):
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_put_get_fifo(env):
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_get_blocks_until_item_available(env):
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer(env):
+        yield env.timeout(7)
+        yield store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [("x", 7.0)]
+
+
+def test_put_blocks_when_full(env):
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        log.append(("a in", env.now))
+        yield store.put("b")
+        log.append(("b in", env.now))
+
+    def consumer(env):
+        yield env.timeout(5)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("a in", 0.0), ("b in", 5.0)]
+
+
+def test_len_reports_items(env):
+    store = Store(env)
+
+    def producer(env):
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(producer(env))
+    env.run()
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_put_cancel_withdraws_offer(env):
+    store = Store(env, capacity=1)
+
+    def fill(env):
+        yield store.put("a")
+
+    def canceller(env):
+        yield env.timeout(1)
+        put = store.put("b")
+        assert not put.triggered
+        put.cancel()
+
+    env.process(fill(env))
+    env.process(canceller(env))
+    env.run()
+    assert store.items == ["a"]
+    assert not store.put_queue
+
+
+def test_get_cancel_withdraws(env):
+    store = Store(env)
+
+    def canceller(env):
+        get = store.get()
+        yield env.timeout(1)
+        get.cancel()
+
+    env.process(canceller(env))
+    env.run()
+    assert not store.get_queue
+
+
+def test_multiple_getters_fifo(env):
+    store = Store(env)
+    got = []
+
+    def getter(env, name):
+        item = yield store.get()
+        got.append((name, item))
+
+    def producer(env):
+        yield env.timeout(1)
+        yield store.put("first")
+        yield store.put("second")
+
+    env.process(getter(env, "g1"))
+    env.process(getter(env, "g2"))
+    env.process(producer(env))
+    env.run()
+    assert got == [("g1", "first"), ("g2", "second")]
+
+
+def test_filter_store_selects_matching(env):
+    store = FilterStore(env)
+    got = []
+
+    def getter(env):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer(env):
+        yield store.put(1)
+        yield store.put(3)
+        yield store.put(4)
+
+    env.process(getter(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [4]
+    assert store.items == [1, 3]
+
+
+def test_filter_store_unmatched_getter_does_not_block_others(env):
+    store = FilterStore(env)
+    got = []
+
+    def wants_big(env):
+        item = yield store.get(lambda x: x > 100)
+        got.append(("big", item))
+
+    def wants_any(env):
+        item = yield store.get()
+        got.append(("any", item))
+
+    def producer(env):
+        yield env.timeout(1)
+        yield store.put(5)
+        yield env.timeout(1)
+        yield store.put(500)
+
+    env.process(wants_big(env))
+    env.process(wants_any(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [("any", 5), ("big", 500)]
+
+
+def test_store_respects_capacity_under_churn(env):
+    store = Store(env, capacity=3)
+    high_water = []
+
+    def producer(env):
+        for i in range(20):
+            yield store.put(i)
+            high_water.append(len(store.items))
+
+    def consumer(env):
+        while True:
+            yield env.timeout(1)
+            yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run(until=50)
+    assert max(high_water) <= 3

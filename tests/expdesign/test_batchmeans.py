@@ -1,0 +1,88 @@
+"""Tests for the method of batch means."""
+
+import numpy as np
+import pytest
+
+from repro.expdesign import batch_means, lag1_autocorrelation
+
+
+def test_lag1_of_iid_near_zero(rng):
+    x = rng.normal(size=10_000)
+    assert abs(lag1_autocorrelation(x)) < 0.05
+
+
+def test_lag1_of_positively_correlated_series(rng):
+    x = np.cumsum(rng.normal(size=2000))  # random walk: strong correlation
+    assert lag1_autocorrelation(x) > 0.9
+
+
+def test_lag1_edge_cases():
+    assert lag1_autocorrelation([1.0]) == 0.0
+    assert lag1_autocorrelation([3.0, 3.0, 3.0]) == 0.0
+
+
+def test_batch_means_iid_ci_contains_mean(rng):
+    x = rng.normal(7.0, 2.0, 5000)
+    res = batch_means(x, n_batches=20)
+    assert res.ci.contains(7.0)
+    assert res.n_batches == 20
+    assert res.batch_size == 250
+    assert res.batches_look_independent
+
+
+def test_batch_means_warmup_discarded(rng):
+    # Strong initial transient followed by stationarity around 10.
+    transient = np.full(500, 100.0)
+    steady = rng.normal(10.0, 1.0, 4500)
+    x = np.concatenate([transient, steady])
+    biased = batch_means(x, n_batches=10)
+    clean = batch_means(x, n_batches=10, warmup=500)
+    assert abs(clean.ci.mean - 10.0) < abs(biased.ci.mean - 10.0)
+    assert clean.ci.contains(10.0)
+
+
+def test_batch_means_correlated_series_flagged(rng):
+    # AR(1) with high phi: batch means at small k stay correlated.
+    phi, n = 0.999, 4000
+    eps = rng.normal(size=n)
+    x = np.empty(n)
+    x[0] = eps[0]
+    for i in range(1, n):
+        x[i] = phi * x[i - 1] + eps[i]
+    res = batch_means(x, n_batches=40)
+    assert abs(res.batch_lag1) > 2.0 / np.sqrt(40)
+    assert not res.batches_look_independent
+
+
+def test_batch_means_validation(rng):
+    x = rng.normal(size=100)
+    with pytest.raises(ValueError):
+        batch_means(x, n_batches=1)
+    with pytest.raises(ValueError):
+        batch_means(x, n_batches=60)
+    with pytest.raises(ValueError):
+        batch_means(x, warmup=-1)
+
+
+def test_batch_means_discards_tail(rng):
+    x = rng.normal(size=103)
+    res = batch_means(x, n_batches=10)
+    assert res.batch_size == 10
+    assert res.discarded == 3
+
+
+def test_batch_means_on_simulation_latency():
+    """End-to-end: steady-state CI on per-sample forwarding latency."""
+    from repro.des import Tally
+    from repro.rocc import ParadynISSystem, SimulationConfig
+
+    cfg = SimulationConfig(nodes=2, duration=4_000_000.0,
+                           sampling_period=5_000.0, seed=3)
+    system = ParadynISSystem(cfg)
+    system.metrics.latency_forwarding = Tally("lat", keep_series=True)
+    system.run()
+    series = system.metrics.latency_forwarding.series
+    assert len(series) > 400
+    res = batch_means(series, n_batches=15, warmup=50)
+    assert res.ci.low > 0
+    assert res.ci.contains(float(np.mean(series[50:])))

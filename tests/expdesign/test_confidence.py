@@ -1,0 +1,85 @@
+"""Tests for confidence intervals and repetition sizing."""
+
+import numpy as np
+import pytest
+
+from repro.expdesign import mean_confidence_interval, repetitions_needed
+
+
+def test_needs_two_observations():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([1.0])
+
+
+def test_level_validation():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([1.0, 2.0], level=1.5)
+
+
+def test_interval_contains_mean():
+    ci = mean_confidence_interval([1.0, 2.0, 3.0], level=0.90)
+    assert ci.mean == pytest.approx(2.0)
+    assert ci.low < 2.0 < ci.high
+    assert ci.contains(2.0)
+    assert not ci.contains(100.0)
+
+
+def test_matches_scipy_t_interval(rng):
+    from scipy import stats
+
+    data = rng.normal(10.0, 2.0, 30)
+    ci = mean_confidence_interval(data, level=0.95)
+    lo, hi = stats.t.interval(
+        0.95, len(data) - 1, loc=np.mean(data),
+        scale=stats.sem(data, ddof=1),
+    )
+    assert ci.low == pytest.approx(lo)
+    assert ci.high == pytest.approx(hi)
+
+
+def test_higher_level_wider_interval(rng):
+    data = rng.normal(size=20)
+    narrow = mean_confidence_interval(data, level=0.80)
+    wide = mean_confidence_interval(data, level=0.99)
+    assert wide.half_width > narrow.half_width
+
+
+def test_coverage_about_right():
+    """~90 % of 90 % CIs should contain the true mean."""
+    rng = np.random.default_rng(7)
+    hits = 0
+    trials = 400
+    for _ in range(trials):
+        data = rng.normal(5.0, 1.0, 10)
+        if mean_confidence_interval(data, level=0.90).contains(5.0):
+            hits += 1
+    assert hits / trials == pytest.approx(0.90, abs=0.05)
+
+
+def test_relative_half_width():
+    ci = mean_confidence_interval([10.0, 10.0, 10.2, 9.8])
+    assert ci.relative_half_width < 0.05
+    zero = mean_confidence_interval([-1.0, 1.0])
+    assert zero.relative_half_width == float("inf")
+
+
+def test_repetitions_needed_scales_with_precision(rng):
+    pilot = rng.normal(100.0, 20.0, 10)
+    loose = repetitions_needed(pilot, target_relative_half_width=0.2)
+    tight = repetitions_needed(pilot, target_relative_half_width=0.02)
+    assert tight > loose
+    assert tight >= 100 * loose // 110  # roughly quadratic
+
+
+def test_repetitions_needed_validation(rng):
+    with pytest.raises(ValueError):
+        repetitions_needed([1.0], 0.1)
+    with pytest.raises(ValueError):
+        repetitions_needed([1.0, 2.0], 0.0)
+    with pytest.raises(ValueError):
+        repetitions_needed([-1.0, 1.0], 0.1)
+
+
+def test_repetitions_at_least_pilot_size(rng):
+    pilot = rng.normal(100.0, 0.001, 25)
+    assert repetitions_needed(pilot, 0.5) == 25

@@ -1,0 +1,135 @@
+"""Tests for allocation of variation (the paper's 'PCA')."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expdesign import Factor, FactorialDesign, allocate_variation
+
+
+def design(k=2):
+    return FactorialDesign([Factor(f"f{i}", -1, 1, chr(65 + i)) for i in range(k)])
+
+
+def additive_responses(d, effects, noise=0.0, reps=1, seed=0):
+    """Build y = mean + sum_e q_e * sign_e + noise for known effects."""
+    rng = np.random.default_rng(seed)
+    labels, cols = d.effect_columns()
+    y = np.full(d.n_runs, 10.0)
+    for label, q in effects.items():
+        y = y + q * cols[:, labels.index(label)]
+    out = np.tile(y[:, None], (1, reps))
+    if noise:
+        out = out + rng.normal(0, noise, out.shape)
+    return out
+
+
+def test_single_effect_explains_everything():
+    d = design(2)
+    y = additive_responses(d, {"A": 3.0})
+    res = allocate_variation(d, y)
+    assert res.fraction("A") == pytest.approx(1.0)
+    assert res.fraction("B") == pytest.approx(0.0)
+    assert res.error_fraction == pytest.approx(0.0)
+
+
+def test_effect_estimates_recovered_exactly():
+    d = design(3)
+    truth = {"A": 2.0, "B": -1.0, "AB": 0.5, "C": 0.25}
+    y = additive_responses(d, truth)
+    res = allocate_variation(d, y)
+    for s in res.shares:
+        assert s.effect == pytest.approx(truth.get(s.label, 0.0), abs=1e-12)
+    assert res.mean == pytest.approx(10.0)
+
+
+def test_fractions_sum_to_one_with_noise():
+    d = design(3)
+    y = additive_responses(d, {"A": 2.0, "B": 1.0}, noise=0.3, reps=5)
+    res = allocate_variation(d, y)
+    total = sum(s.fraction for s in res.shares) + res.error_fraction
+    assert total == pytest.approx(1.0)
+    assert res.error_fraction > 0
+
+
+def test_relative_importance_ordering():
+    d = design(2)
+    y = additive_responses(d, {"A": 5.0, "B": 1.0}, noise=0.1, reps=4)
+    res = allocate_variation(d, y)
+    top = res.top(2)
+    assert top[0].label == "A"
+    assert top[1].label == "B"
+    assert res.fraction("A") > 0.9
+
+
+def test_confidence_intervals_with_repetitions():
+    d = design(2)
+    y = additive_responses(d, {"A": 5.0}, noise=0.2, reps=10, seed=3)
+    res = allocate_variation(d, y)
+    a = next(s for s in res.shares if s.label == "A")
+    assert a.ci_low is not None and a.ci_low < 5.0 < a.ci_high
+    assert a.significant
+    b = next(s for s in res.shares if s.label == "B")
+    assert not b.significant  # CI includes zero
+
+
+def test_no_ci_single_rep():
+    d = design(2)
+    res = allocate_variation(d, additive_responses(d, {"A": 1.0}))
+    assert all(s.ci_low is None for s in res.shares)
+    assert all(s.significant for s in res.shares)
+
+
+def test_wrong_row_count_rejected():
+    d = design(2)
+    with pytest.raises(ValueError):
+        allocate_variation(d, [[1.0], [2.0]])
+
+
+def test_nan_rejected_with_helpful_message():
+    d = design(2)
+    y = additive_responses(d, {"A": 1.0}).astype(float)
+    y[0, 0] = np.nan
+    with pytest.raises(ValueError, match="NaN"):
+        allocate_variation(d, y)
+
+
+def test_format_and_percentages():
+    d = design(2)
+    res = allocate_variation(d, additive_responses(d, {"A": 3.0, "B": 1.0}))
+    pct = res.as_percentages()
+    assert pct["A"] == pytest.approx(90.0)
+    assert pct["B"] == pytest.approx(10.0)
+    assert "A 90.0%" in res.format()
+
+
+def test_unknown_label_raises():
+    d = design(2)
+    res = allocate_variation(d, additive_responses(d, {"A": 1.0}))
+    with pytest.raises(KeyError):
+        res.fraction("Z")
+
+
+_effect = st.one_of(
+    st.just(0.0),
+    # Keep effects well above float-addition underflow vs the mean of 10.
+    st.floats(min_value=1e-3, max_value=5),
+    st.floats(min_value=-5, max_value=-1e-3),
+)
+
+
+@given(qa=_effect, qb=_effect, qab=_effect)
+@settings(max_examples=60)
+def test_decomposition_is_exact_property(qa, qb, qab):
+    """For noiseless additive data the SS decomposition is exact:
+    fractions are proportional to squared effects."""
+    d = design(2)
+    y = additive_responses(d, {"A": qa, "B": qb, "AB": qab})
+    ss = qa**2 + qb**2 + qab**2
+    res = allocate_variation(d, y)
+    if ss == 0:
+        assert res.total_variation == pytest.approx(0.0, abs=1e-18)
+    else:
+        assert res.fraction("A") == pytest.approx(qa**2 / ss, abs=1e-9)
+        assert res.fraction("AB") == pytest.approx(qab**2 / ss, abs=1e-9)

@@ -1,0 +1,145 @@
+"""Tests for 2^(k-p) fractional factorial designs."""
+
+import numpy as np
+import pytest
+
+from repro.expdesign import Factor, FractionalFactorialDesign
+from repro.expdesign.fractional import _word_mul
+
+
+def half_fraction_2_4_1():
+    """2^(4-1) with D = ABC (resolution IV)."""
+    base = [Factor("a", -1, 1, "A"), Factor("b", -1, 1, "B"),
+            Factor("c", -1, 1, "C")]
+    return FractionalFactorialDesign(
+        base_factors=base,
+        generators={Factor("d", -1, 1, "D"): "ABC"},
+    )
+
+
+def test_word_multiplication():
+    assert _word_mul("AB", "BC") == "AC"
+    assert _word_mul("A", "A") == "I"
+    assert _word_mul("ABC", "I") == "ABC"
+    assert _word_mul("AB", "CD") == "ABCD"
+
+
+def test_run_count_halved():
+    d = half_fraction_2_4_1()
+    assert d.k == 4
+    assert d.p == 1
+    assert d.n_runs == 8
+    assert len(list(d.runs())) == 8
+
+
+def test_generated_factor_is_product_of_bases():
+    d = half_fraction_2_4_1()
+    labels, signs = d.signs()
+    idx = {lab: i for i, lab in enumerate(labels)}
+    prod = signs[:, idx["A"]] * signs[:, idx["B"]] * signs[:, idx["C"]]
+    np.testing.assert_array_equal(signs[:, idx["D"]], prod)
+
+
+def test_runs_carry_generated_levels():
+    d = half_fraction_2_4_1()
+    for run, row in zip(d.runs(), d.signs()[1]):
+        pass  # smoke: runs() and signs() agree in length
+    runs = list(d.runs())
+    assert all(set(r) == {"a", "b", "c", "d"} for r in runs)
+
+
+def test_defining_relation_and_resolution():
+    d = half_fraction_2_4_1()
+    assert d.defining_relation() == ["I", "ABCD"]
+    assert d.resolution == 4
+
+
+def test_aliases_resolution_iv():
+    d = half_fraction_2_4_1()
+    # Main effects alias with three-way interactions only.
+    assert d.aliases("A") == ["BCD"]
+    assert d.aliases("AB") == ["CD"]
+
+
+def test_two_generators():
+    base = [Factor(n, -1, 1, n) for n in "ABC"]
+    d = FractionalFactorialDesign(
+        base_factors=base,
+        generators={
+            Factor("d", -1, 1, "D"): "AB",
+            Factor("e", -1, 1, "E"): "AC",
+        },
+    )
+    assert d.n_runs == 8
+    assert d.k == 5
+    rel = d.defining_relation()
+    assert "ABD" in rel and "ACE" in rel
+    # Product word BDCE (= ABD * ACE) is in the subgroup too.
+    assert _word_mul("ABD", "ACE") in rel
+    assert d.resolution == 3
+
+
+def test_validation():
+    base = [Factor("a", -1, 1, "A")]
+    with pytest.raises(ValueError):
+        FractionalFactorialDesign(
+            base_factors=base, generators={Factor("x", 0, 1, "A"): "A"}
+        )
+    with pytest.raises(ValueError):
+        FractionalFactorialDesign(
+            base_factors=base, generators={Factor("e", 0, 1, "E"): "AZ"}
+        )
+
+
+def test_columns_balanced():
+    d = half_fraction_2_4_1()
+    _, signs = d.signs()
+    assert (signs.sum(axis=0) == 0).all()
+
+
+def test_estimate_effects_recovers_aliased_sum():
+    """In the half fraction, the A contrast estimates q_A + q_BCD; with
+    data built from pure main effects it recovers them exactly."""
+    d = half_fraction_2_4_1()
+    labels, signs = d.signs()
+    idx = {lab: i for i, lab in enumerate(labels)}
+    truth = {"A": 2.0, "B": -1.0, "D": 0.5}
+    y = np.full(d.n_runs, 10.0)
+    for lab, q in truth.items():
+        y = y + q * signs[:, idx[lab]]
+    effects = d.estimate_effects(y)
+    # D = ABC, so the ABC contrast carries q_D.
+    assert effects["A=BCD"] == pytest.approx(2.0)
+    assert effects["B=ACD"] == pytest.approx(-1.0)
+    assert effects["D=ABC"] == pytest.approx(0.5)
+    assert effects["C=ABD"] == pytest.approx(0.0)
+
+
+def test_estimate_effects_validates_shape():
+    d = half_fraction_2_4_1()
+    with pytest.raises(ValueError):
+        d.estimate_effects([[1.0]] * 4)
+
+
+def test_estimate_effects_confounding_is_real():
+    """Put equal-and-opposite effects on aliased words: the contrast
+    sees their sum (zero) — the fraction genuinely cannot tell."""
+    d = half_fraction_2_4_1()
+    labels, signs = d.signs()
+    idx = {lab: i for i, lab in enumerate(labels)}
+    col_a = signs[:, idx["A"]]
+    col_bcd = signs[:, idx["B"]] * signs[:, idx["C"]] * signs[:, idx["D"]]
+    y = 10.0 + 3.0 * col_a - 3.0 * col_bcd
+    effects = d.estimate_effects(y)
+    assert effects["A=BCD"] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_aliased_effects_have_identical_columns():
+    """The sign column of an effect equals that of its alias — the
+    definition of confounding."""
+    d = half_fraction_2_4_1()
+    labels, signs = d.signs()
+    idx = {lab: i for i, lab in enumerate(labels)}
+    col_a = signs[:, idx["A"]]
+    col_bcd = signs[:, idx["B"]] * signs[:, idx["C"]] * signs[:, idx["D"]]
+    np.testing.assert_array_equal(col_a, col_bcd)

@@ -1,0 +1,70 @@
+"""Tests for PCA proper."""
+
+import numpy as np
+import pytest
+
+from repro.expdesign import pca
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        pca([1.0, 2.0])
+    with pytest.raises(ValueError):
+        pca([[1.0, 2.0]])
+
+
+def test_ratios_sum_to_one(rng):
+    X = rng.normal(size=(40, 4))
+    res = pca(X)
+    assert res.explained_variance_ratio.sum() == pytest.approx(1.0)
+
+
+def test_dominant_direction_found(rng):
+    t = rng.normal(size=200)
+    X = np.column_stack([t, 2 * t + rng.normal(0, 0.01, 200),
+                         rng.normal(0, 0.01, 200)])
+    res = pca(X, standardize=False)
+    assert res.explained_variance_ratio[0] > 0.99
+    # The first component loads on variables 0 and 1, not 2.
+    assert abs(res.loading(0, 2)) < 0.05
+
+
+def test_components_orthonormal(rng):
+    X = rng.normal(size=(30, 5))
+    res = pca(X)
+    gram = res.components @ res.components.T
+    np.testing.assert_allclose(gram, np.eye(res.n_components), atol=1e-10)
+
+
+def test_n_components_truncation(rng):
+    X = rng.normal(size=(30, 5))
+    res = pca(X, n_components=2)
+    assert res.components.shape == (2, 5)
+    assert res.scores.shape == (30, 2)
+
+
+def test_standardization_equalizes_scales(rng):
+    # One variable with huge scale must not dominate after standardizing.
+    X = np.column_stack([rng.normal(0, 1000, 100), rng.normal(0, 1, 100)])
+    res = pca(X, standardize=True)
+    assert res.explained_variance_ratio[0] < 0.8
+
+
+def test_scores_reproduce_data(rng):
+    X = rng.normal(size=(20, 3))
+    res = pca(X, standardize=False)
+    reconstructed = res.scores @ res.components + res.mean
+    np.testing.assert_allclose(reconstructed, X, atol=1e-10)
+
+
+def test_dominant_variable(rng):
+    t = rng.normal(size=100)
+    X = np.column_stack([0.1 * t, t, rng.normal(0, 0.01, 100)])
+    res = pca(X, standardize=False)
+    assert res.dominant_variable(0) == 1
+
+
+def test_constant_column_handled(rng):
+    X = np.column_stack([np.full(20, 3.0), rng.normal(size=20)])
+    res = pca(X)  # must not divide by zero
+    assert np.isfinite(res.components).all()

@@ -1,0 +1,79 @@
+"""Structural tests of the analytic-figure artifacts (9, 10, 12–15).
+
+These figures are pure math and cheap, so the tests assert the full
+panel structure and the paper's qualitative orderings directly on the
+rendered artifacts.
+"""
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture(scope="module")
+def figs():
+    return {fid: run(fid) for fid in
+            ("figure9", "figure10", "figure12", "figure13",
+             "figure14", "figure15")}
+
+
+def test_figure9_has_eight_panels(figs):
+    fig = figs["figure9"]
+    assert len(fig.parts) == 8
+    a = [p for p in fig.parts if p.title.startswith("(a)")]
+    b = [p for p in fig.parts if p.title.startswith("(b)")]
+    assert len(a) == len(b) == 4
+
+
+def test_figure9_series_cover_policies(figs):
+    for panel in figs["figure9"].parts:
+        assert set(panel.series) == {"CF", "BF"}
+        for ys in panel.series.values():
+            assert len(ys) == len(panel.x)
+
+
+def test_figure10_has_three_periods(figs):
+    for panel in figs["figure10"].parts:
+        assert set(panel.series) == {"T=1ms", "T=40ms", "T=64ms"}
+
+
+def test_figure10_app_utilization_rises_with_batch(figs):
+    panel = figs["figure10"].find("Appl. CPU utilization")
+    for ys in panel.series.values():
+        assert all(a <= b + 1e-12 for a, b in zip(ys, ys[1:]))
+
+
+def test_smp_figures_have_cf_and_bf_sections(figs):
+    for fid in ("figure12", "figure13"):
+        titles = [p.title for p in figs[fid].parts]
+        assert any(t.startswith("(CF)") for t in titles)
+        assert any(t.startswith("(BF)") for t in titles)
+        for panel in figs[fid].parts:
+            assert set(panel.series) == {"1 Pd", "2 Pds", "3 Pds", "4 Pds"}
+
+
+def test_figure12_overhead_falls_with_period(figs):
+    panel = figs["figure12"].find("(CF) IS CPU utilization")
+    for ys in panel.series.values():
+        assert all(a >= b for a, b in zip(ys, ys[1:]))
+
+
+def test_mpp_figures_compare_topologies(figs):
+    for fid in ("figure14", "figure15"):
+        for panel in figs[fid].parts:
+            assert set(panel.series) == {"direct", "tree"}
+
+
+def test_figure15_app_utilization_complements_pd(figs):
+    fig = figs["figure15"]
+    pd = fig.find("Pd CPU utilization")
+    app = fig.find("Appl. CPU utilization")
+    for key in ("direct", "tree"):
+        for u_pd, u_app in zip(pd.series[key], app.series[key]):
+            assert u_pd + u_app == pytest.approx(100.0)
+
+
+def test_all_formats_render(figs):
+    for fig in figs.values():
+        text = fig.format()
+        assert len(text) > 200

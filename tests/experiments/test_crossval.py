@@ -1,0 +1,34 @@
+"""Tests for the analytic-vs-simulation cross-validation artifact."""
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return run("extra_crossvalidation", quick=True)
+
+
+def test_utilizations_agree_below_saturation(artifact):
+    """Flow balance holds: analytic and simulated utilization within a
+    few percent at every grid point."""
+    for err in artifact.column("util_error_pct"):
+        assert err < 8.0
+
+
+def test_cf_latency_gap_is_systematic(artifact):
+    """The analytic model under-predicts CF latency (it omits the CPU
+    contention with the application)."""
+    rows = zip(
+        artifact.column("batch"),
+        artifact.column("latency_analytic_ms"),
+        artifact.column("latency_sim_ms"),
+    )
+    for batch, analytic, sim in rows:
+        if batch == 1:
+            assert sim > analytic
+
+
+def test_grid_covers_both_policies(artifact):
+    assert set(artifact.column("batch")) == {1, 32}

@@ -1,0 +1,84 @@
+"""Tests for artifact JSON export."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.reporting import (
+    ArtifactGroup,
+    SeriesSet,
+    Table,
+    artifact_to_dict,
+    save_artifact,
+)
+
+
+def sample_group():
+    g = ArtifactGroup(title="fig", notes=["gn"])
+    t = Table(title="t", headers=["a", "b"], notes=["tn"])
+    t.add_row(1, 2.5)
+    t.add_row("x", math.nan)
+    s = SeriesSet(title="s", x_label="x", y_label="y", x=[1.0, 2.0])
+    s.add_series("CF", [3.0, math.inf])
+    g.add(t)
+    g.add(s)
+    return g
+
+
+def test_table_dict_roundtrip():
+    t = Table(title="t", headers=["a"], rows=[[1], [2]])
+    d = artifact_to_dict(t)
+    assert d["type"] == "table"
+    assert d["rows"] == [[1], [2]]
+
+
+def test_nan_inf_become_null():
+    d = artifact_to_dict(sample_group())
+    table = d["parts"][0]
+    assert table["rows"][1][1] is None
+    series = d["parts"][1]
+    assert series["series"]["CF"][1] is None
+    # Whole structure must be JSON-serializable.
+    json.dumps(d)
+
+
+def test_group_nested_structure():
+    d = artifact_to_dict(sample_group())
+    assert d["type"] == "group"
+    assert [p["type"] for p in d["parts"]] == ["table", "series"]
+    assert d["notes"] == ["gn"]
+
+
+def test_non_artifact_rejected():
+    with pytest.raises(TypeError):
+        artifact_to_dict("hello")
+
+
+def test_save_artifact_writes_json_and_txt(tmp_path):
+    path = save_artifact(sample_group(), tmp_path / "out" / "fig.json")
+    assert path.exists()
+    data = json.loads(path.read_text())
+    assert data["title"] == "fig"
+    txt = path.with_suffix(".txt")
+    assert txt.exists()
+    assert "fig" in txt.read_text()
+
+
+def test_cli_out_flag(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    rc = main(["figure9", "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "figure9.json").exists()
+    assert "saved to" in capsys.readouterr().out
+
+
+def test_enum_values_serialized():
+    from repro.rocc import ForwardingTopology
+
+    t = Table(title="t", headers=["fwd"])
+    t.add_row(ForwardingTopology.TREE)
+    d = artifact_to_dict(t)
+    assert d["rows"][0][0] == "tree"
+    json.dumps(d)

@@ -1,0 +1,78 @@
+"""Tests for the extension experiments (adaptive, perturbation)."""
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture(scope="module")
+def adaptive():
+    return run("extra_adaptive", quick=True)
+
+
+@pytest.fixture(scope="module")
+def perturbation():
+    return run("extra_perturbation", quick=True)
+
+
+class TestExtraAdaptive:
+    def test_table_shape(self, adaptive):
+        table = adaptive.find("static vs regulated")
+        assert len(table.rows) == 3
+        assert table.column("strategy")[0].startswith("static")
+
+    def test_regulation_hits_budget(self, adaptive):
+        table = adaptive.find("static vs regulated")
+        settled = table.column("settled_overhead_pct")
+        assert settled[0] > 15.0  # static blows the budget
+        assert settled[1] < 1.5
+        assert settled[2] < 1.5
+
+    def test_batch_strategy_keeps_more_samples(self, adaptive):
+        table = adaptive.find("static vs regulated")
+        delivered = table.column("samples_delivered")
+        assert delivered[2] > 1.5 * delivered[1]
+
+
+class TestExtraPerturbation:
+    def test_rows_cover_both_policies(self, perturbation):
+        policies = set(perturbation.column("policy"))
+        assert policies == {"CF", "BF"}
+
+    def test_slowdown_decreases_with_period(self, perturbation):
+        cf = [
+            (p, s)
+            for p, pol, s in zip(
+                perturbation.column("period_ms"),
+                perturbation.column("policy"),
+                perturbation.column("slowdown_pct"),
+            )
+            if pol == "CF"
+        ]
+        slowdowns = [s for _, s in sorted(cf)]
+        assert slowdowns == sorted(slowdowns, reverse=True)
+
+    def test_bf_always_gentler(self, perturbation):
+        rows = {}
+        for p, pol, s in zip(
+            perturbation.column("period_ms"),
+            perturbation.column("policy"),
+            perturbation.column("slowdown_pct"),
+        ):
+            rows.setdefault(p, {})[pol] = s
+        for p, vals in rows.items():
+            assert vals["BF"] < vals["CF"]
+
+    def test_covers_paper_motivating_range(self, perturbation):
+        """§1: degradation 'from 10% to more than 50%'."""
+        slowdowns = perturbation.column("slowdown_pct")
+        assert max(slowdowns) > 50.0
+        assert min(slowdowns) < 10.0
+
+    def test_direct_plus_indirect_equals_slowdown(self, perturbation):
+        for s, d, i in zip(
+            perturbation.column("slowdown_pct"),
+            perturbation.column("direct_pct"),
+            perturbation.column("indirect_pct"),
+        ):
+            assert s == pytest.approx(d + i, abs=1e-6)

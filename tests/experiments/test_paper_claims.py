@@ -1,0 +1,165 @@
+"""Integration tests of the paper's headline claims, via the experiment
+runners themselves.  These are the 'shape' assertions EXPERIMENTS.md
+records: who wins, by roughly what factor, where the knees fall.
+
+The heavier simulation-backed artifacts are exercised in quick mode.
+"""
+
+from statistics import mean
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture(scope="module")
+def fig30():
+    return run("figure30", quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig31():
+    return run("figure31", quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig19():
+    return run("figure19", quick=True)
+
+
+class TestHeadlineOverheadReduction:
+    def test_pd_reduction_over_60_percent(self, fig30):
+        summary = fig30.find("overhead reduction")
+        for value in summary.column("pd_reduction_pct"):
+            assert value > 60.0
+
+    def test_main_reduction_about_80_percent(self, fig30):
+        summary = fig30.find("overhead reduction")
+        for value in summary.column("main_reduction_pct"):
+            assert 70.0 < value < 90.0
+
+    def test_policy_dominates_variation(self, fig30):
+        """Table 7: policy (A) explains the largest single share of the
+        main-process CPU-time variation."""
+        table = fig30.find("main CPU time")
+        rows = dict(zip(table.column("effect"), table.column("percent")))
+        assert rows["A"] == max(
+            v for k, v in rows.items() if k not in ("error",)
+        )
+
+
+class TestApplicationIndependence:
+    def test_reduction_holds_for_both_benchmarks(self, fig31):
+        bars = fig31.find("normalized CPU occupancy")
+        rows = {
+            (p, b): v
+            for p, b, v in zip(
+                bars.column("policy"),
+                bars.column("benchmark"),
+                bars.column("pd_pct_of_node"),
+            )
+        }
+        for bench in ("pvmbt", "pvmis"):
+            reduction = 1 - rows[("BF", bench)] / rows[("CF", bench)]
+            assert reduction > 0.5
+
+    def test_application_factor_negligible(self, fig31):
+        table = fig31.find("Table 8: variation explained for Pd")
+        rows = dict(zip(table.column("effect"), table.column("percent")))
+        assert rows["A"] > 90.0  # policy
+        assert rows["B"] < 5.0  # application program
+
+
+class TestBatchSizeKnee:
+    def test_sharp_drop_then_plateau(self, fig19):
+        panel = fig19.find("Pd CPU utilization/node")
+        for name, ys in panel.series.items():
+            # CF -> batch 2 cuts overhead substantially...
+            assert ys[1] < 0.8 * ys[0]
+            # ...but batch 64 -> 128 changes little (the plateau).
+            assert abs(ys[-1] - ys[-2]) < 0.15 * ys[0]
+
+    def test_app_utilization_recovers_with_batching(self, fig19):
+        panel = fig19.find("Appl. CPU utilization/node")
+        for ys in panel.series.values():
+            assert ys[-1] >= ys[0] - 1e-6
+
+
+class TestFactorAttribution:
+    def test_now_sampling_period_dominates_pd_cpu(self):
+        fig = run("figure16", quick=True)
+        table = fig.find("Pd CPU time")
+        rows = dict(zip(table.column("effect"), table.column("percent")))
+        assert max(rows, key=rows.get) == "B"
+        assert rows["B"] > 40.0
+
+    def test_mpp_period_then_policy(self):
+        fig = run("figure25", quick=True)
+        table = fig.find("Pd CPU time")
+        rows = dict(zip(table.column("effect"), table.column("percent")))
+        ordered = sorted(rows.items(), key=lambda kv: -kv[1])
+        assert ordered[0][0] == "B"
+        assert "C" in (ordered[1][0], ordered[2][0])
+
+
+class TestAnalyticalFigures:
+    def test_figure9_bf_below_cf_everywhere(self):
+        fig = run("figure9")
+        for panel in fig.parts:
+            if "Pd CPU" in panel.title:
+                for cf, bf in zip(panel.series["CF"], panel.series["BF"]):
+                    assert bf < cf
+
+    def test_figure10_monotone_decreasing_overhead(self):
+        fig = run("figure10")
+        panel = fig.find("Pd CPU utilization")
+        for ys in panel.series.values():
+            assert all(a >= b for a, b in zip(ys, ys[1:]))
+
+    def test_figure15_tree_overhead_above_direct(self):
+        fig = run("figure15")
+        panel = fig.find("Pd CPU utilization")
+        direct, tree = panel.series["direct"], panel.series["tree"]
+        assert all(t >= d for d, t in zip(direct, tree))
+        assert tree[-1] > 1.5 * direct[-1]
+
+
+class TestValidationTable3:
+    def test_simulation_tracks_measurement(self):
+        table = run("table3", quick=True)
+        app = table.column("app_cpu_s")
+        pd = table.column("pd_cpu_s")
+        assert app[1] == pytest.approx(app[0], rel=0.15)
+        assert pd[1] == pytest.approx(pd[0], rel=0.5)
+        # Overhead is small relative to the application, as measured.
+        assert mean(pd) < 0.05 * mean(app)
+
+
+class TestWorkloadCharacterization:
+    def test_table1_moments(self):
+        table = run("table1", quick=True)
+        rows = dict(zip(table.column("process"), table.column("cpu_mean")))
+        assert rows["application"] == pytest.approx(2213.0, rel=0.15)
+        assert rows["paradyn_daemon"] == pytest.approx(267.0, rel=0.25)
+
+    def test_table2_families(self):
+        table = run("table2", quick=True)
+        fam = {
+            (p, r): f
+            for p, r, f in zip(
+                table.column("process"),
+                table.column("resource"),
+                table.column("family"),
+            )
+        }
+        assert fam[("application", "cpu")] == "lognormal"
+        assert fam[("application", "network")] == "exponential"
+
+    def test_figure8_qq_diagnostics(self):
+        fig = run("figure8", quick=True)
+        qq = fig.find("cpu requests: Q-Q diagnostics")
+        rows = dict(zip(qq.column("statistic"), qq.column("value")))
+        # "approximately follows the ideal linear curve, exhibiting
+        # differences at both tails" — heavy-tailed lognormal data keeps
+        # the correlation high but not perfect at quick-mode sample sizes.
+        assert rows["linearity (corr)"] > 0.85

@@ -1,0 +1,71 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.experiments import get, list_experiments
+from repro.experiments.registry import REGISTRY, register
+
+
+def test_all_paper_artifacts_registered():
+    ids = {e.id for e in list_experiments()}
+    expected = {
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "figure8", "figure9", "figure10", "figure12", "figure13",
+        "figure14", "figure15", "figure16", "figure17", "figure18",
+        "figure19", "figure20", "figure21", "figure22", "figure23",
+        "figure24", "figure25", "figure26", "figure27", "figure28",
+        "figure30", "figure31",
+    }
+    assert expected <= ids
+
+
+def test_get_known():
+    e = get("table1")
+    assert e.id == "table1"
+    assert "Table 1" in e.title
+
+
+def test_get_unknown_lists_available():
+    with pytest.raises(KeyError, match="available"):
+        get("table99")
+
+
+def test_double_registration_rejected():
+    assert "table1" in REGISTRY
+    with pytest.raises(ValueError):
+        register("table1", "dup", "x")(lambda quick=True: None)
+
+
+def test_experiments_sorted():
+    ids = [e.id for e in list_experiments()]
+    assert ids == sorted(ids)
+
+
+def test_every_experiment_has_metadata():
+    for e in list_experiments():
+        assert e.title
+        assert e.paper_ref
+        assert callable(e.runner)
+
+
+def test_cli_list(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "figure31" in out
+
+
+def test_cli_unknown_id(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["nope"]) == 2
+
+
+def test_cli_runs_fast_experiment(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["figure9"]) == 0
+    out = capsys.readouterr().out
+    assert "analytic NOW" in out or "Figure 9" in out
+    assert "completed in" in out

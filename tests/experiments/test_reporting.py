@@ -1,0 +1,94 @@
+"""Tests for the reporting artifacts (tables, series, groups)."""
+
+import math
+
+import pytest
+
+from repro.experiments import ArtifactGroup, SeriesSet, Table
+from repro.experiments.reporting import fmt_value
+
+
+class TestFmtValue:
+    def test_ints_and_strings(self):
+        assert fmt_value(7) == "7"
+        assert fmt_value("abc") == "abc"
+        assert fmt_value(True) == "True"
+
+    def test_floats(self):
+        assert fmt_value(3.14159) == "3.142"
+        assert fmt_value(0.0) == "0"
+
+    def test_nan_and_inf(self):
+        assert fmt_value(float("nan")) == "-"
+        assert fmt_value(float("inf")) == "inf"
+        assert fmt_value(float("-inf")) == "-inf"
+
+    def test_extreme_magnitudes_use_scientific(self):
+        assert "e" in fmt_value(1.23e-7)
+        assert "e" in fmt_value(9.9e12)
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        t = Table(title="t", headers=["a", "b"])
+        t.add_row(1, 2)
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_access(self):
+        t = Table(title="t", headers=["a", "b"])
+        t.add_row(1, "x")
+        t.add_row(2, "y")
+        assert t.column("a") == [1, 2]
+        with pytest.raises(KeyError):
+            t.column("zzz")
+
+    def test_format_aligned(self):
+        t = Table(title="My Table", headers=["name", "value"],
+                  notes=["a note"])
+        t.add_row("alpha", 1.5)
+        text = t.format()
+        assert "My Table" in text
+        assert "alpha" in text
+        assert "note: a note" in text
+
+
+class TestSeriesSet:
+    def test_series_length_checked(self):
+        s = SeriesSet(title="s", x_label="x", y_label="y", x=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.add_series("bad", [1.0])
+        s.add_series("ok", [1.0, 2.0])
+
+    def test_format_contains_points(self):
+        s = SeriesSet(title="curve", x_label="x", y_label="y", x=[1.0, 2.0])
+        s.add_series("CF", [10.0, 20.0])
+        s.add_series("BF", [1.0, 2.0])
+        text = s.format()
+        assert "CF" in text and "BF" in text
+        assert "curve" in text
+        assert "[y: y]" in text
+
+    def test_nan_rendered_as_dash(self):
+        s = SeriesSet(title="t", x_label="x", y_label="y", x=[1.0])
+        s.add_series("a", [math.nan])
+        assert "-" in s.format()
+
+
+class TestArtifactGroup:
+    def test_find(self):
+        g = ArtifactGroup(title="fig")
+        t = Table(title="inner panel", headers=["a"])
+        g.add(t)
+        assert g.find("inner") is t
+        with pytest.raises(KeyError):
+            g.find("missing")
+
+    def test_format_concatenates(self):
+        g = ArtifactGroup(title="Figure X", notes=["overall note"])
+        g.add(Table(title="p1", headers=["a"]))
+        g.add(SeriesSet(title="p2", x_label="x", y_label="y"))
+        text = g.format()
+        assert "Figure X" in text
+        assert "p1" in text and "p2" in text
+        assert "overall note" in text

@@ -1,0 +1,84 @@
+"""Tests for replication / sweep utilities."""
+
+import pytest
+
+from repro.experiments import MeanResults, metric_series, replicate, sweep
+from repro.rocc import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimulationConfig(nodes=1, duration=400_000.0, sampling_period=20_000.0,
+                            seed=5)
+
+
+def test_replicate_runs_independent_reps(cfg):
+    res = replicate(cfg, repetitions=3)
+    assert len(res.results) == 3
+    values = res.raw("pd_cpu_time_per_node")
+    assert len(set(values)) == 3  # distinct random streams
+
+
+def test_replicate_validation(cfg):
+    with pytest.raises(ValueError):
+        replicate(cfg, repetitions=0)
+
+
+def test_mean_results_averages(cfg):
+    res = replicate(cfg, repetitions=3)
+    import statistics
+
+    assert res.pd_cpu_time_per_node == pytest.approx(
+        statistics.mean(res.raw("pd_cpu_time_per_node"))
+    )
+
+
+def test_mean_results_passthrough_non_numeric(cfg):
+    res = replicate(cfg, repetitions=2)
+    assert res.nodes == 1
+    assert "n=1" in res.config_summary
+
+
+def test_mean_results_derived_properties(cfg):
+    res = replicate(cfg, repetitions=2)
+    assert res.pd_cpu_seconds_per_node == pytest.approx(
+        res.pd_cpu_time_per_node / 1e6
+    )
+    assert res.monitoring_latency_forwarding_ms == pytest.approx(
+        res.monitoring_latency_forwarding / 1e3
+    )
+
+
+def test_mean_results_skips_nan(cfg):
+    # batch too large to complete -> latency NaN in each rep.
+    res = replicate(cfg.with_(batch_size=1000), repetitions=2)
+    assert res.monitoring_latency_forwarding != res.monitoring_latency_forwarding
+
+
+def test_sweep_varies_parameter(cfg):
+    runs = sweep(cfg, "sampling_period", [10_000.0, 40_000.0], repetitions=1)
+    assert len(runs) == 2
+    thr = metric_series(runs, "throughput_per_daemon")
+    assert thr[0] > thr[1]  # faster sampling, more samples
+
+
+def test_sweep_rejects_unknown_parameter(cfg):
+    with pytest.raises(ValueError):
+        sweep(cfg, "no_such_knob", [1, 2])
+
+
+def test_sweep_aggregated_mode(cfg):
+    from repro.rocc import Architecture
+
+    mpp = cfg.with_(architecture=Architecture.MPP, nodes=16)
+    runs = sweep(mpp, "batch_size", [1, 8], repetitions=1, aggregated=True)
+    assert runs[0].nodes == 16
+    assert runs[0].pd_cpu_time_per_node > runs[1].pd_cpu_time_per_node
+
+
+def test_common_random_numbers_across_levels(cfg):
+    """Two sweeps differing only in policy share replication streams, so
+    the app workload realization is identical (CRN variance reduction)."""
+    a = replicate(cfg.with_(batch_size=1), repetitions=1)
+    b = replicate(cfg.with_(batch_size=8), repetitions=1)
+    assert a.results[0].samples_generated == b.results[0].samples_generated

@@ -1,0 +1,28 @@
+"""Tests for the reproduction scorecard experiment."""
+
+from repro.experiments import run
+from repro.paper import CLAIMS
+
+
+def test_summary_lists_every_claim():
+    fig = run("summary")
+    table = fig.find("claims")
+    assert len(table.rows) == len(CLAIMS)
+    ids = set(table.column("claim"))
+    assert {c.id for c in CLAIMS} == ids
+
+
+def test_summary_counts_partition():
+    fig = run("summary")
+    counts = fig.find("status counts")
+    rows = dict(zip(counts.column("status"), counts.column("claims")))
+    total = rows.pop("total")
+    assert sum(rows.values()) == total == len(CLAIMS)
+
+
+def test_summary_renders_instantly():
+    import time
+
+    t0 = time.time()
+    run("summary")
+    assert time.time() - t0 < 1.0  # no simulation behind it

@@ -1,0 +1,67 @@
+"""Structural tests of the Section-5 validation runners."""
+
+import pytest
+
+from repro.experiments import run
+from repro.experiments.validation import workload_for_benchmark
+
+
+class TestWorkloadForBenchmark:
+    def test_pvmbt_is_table2(self):
+        wl = workload_for_benchmark("pvmbt")
+        assert wl.app_cpu.mean == 2213.0
+        assert wl.app_network.mean == 223.0
+
+    def test_pvmis_differs_but_stays_cpu_bound(self):
+        wl = workload_for_benchmark("pvmis")
+        assert wl.app_cpu.mean != 2213.0
+        duty = wl.app_cpu.mean / (wl.app_cpu.mean + wl.app_network.mean)
+        assert duty > 0.85
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            workload_for_benchmark("pvmlu")
+
+
+@pytest.fixture(scope="module")
+def fig30():
+    return run("figure30", quick=True)
+
+
+class TestFigure30Structure:
+    def test_four_policy_period_cells(self, fig30):
+        bars = fig30.find("CPU time")
+        assert len(bars.rows) == 4
+        assert set(bars.column("policy")) == {"CF", "BF"}
+        assert set(bars.column("period_ms")) == {10.0, 30.0}
+
+    def test_cf_costs_more_in_every_cell(self, fig30):
+        bars = fig30.find("CPU time")
+        by_key = {
+            (p, t): (pd, mn)
+            for p, t, pd, mn in zip(
+                bars.column("policy"), bars.column("period_ms"),
+                bars.column("pd_cpu_s"), bars.column("main_cpu_s"),
+            )
+        }
+        for period in (10.0, 30.0):
+            assert by_key[("CF", period)][0] > by_key[("BF", period)][0]
+            assert by_key[("CF", period)][1] > by_key[("BF", period)][1]
+
+    def test_faster_sampling_costs_more(self, fig30):
+        bars = fig30.find("CPU time")
+        by_key = {
+            (p, t): pd
+            for p, t, pd in zip(
+                bars.column("policy"), bars.column("period_ms"),
+                bars.column("pd_cpu_s"),
+            )
+        }
+        for policy in ("CF", "BF"):
+            assert by_key[(policy, 10.0)] > by_key[(policy, 30.0)]
+
+    def test_table7_fractions_sum_to_one(self, fig30):
+        for name in ("Pd CPU time", "main CPU time"):
+            t = fig30.find(name)
+            total = sum(t.column("percent"))
+            assert total == pytest.approx(100.0, abs=0.5)

@@ -1,0 +1,150 @@
+"""Tests for adaptive IS management (overhead regulation)."""
+
+import pytest
+
+from repro.rocc import (
+    AdaptiveSampler,
+    ParadynISSystem,
+    RegulatorConfig,
+    SimulationConfig,
+    simulate,
+)
+
+
+def adaptive_cfg(**kw):
+    base = dict(
+        nodes=2,
+        sampling_period=1_000.0,  # aggressive: ~26 % static overhead
+        batch_size=1,
+        duration=8_000_000.0,
+        seed=44,
+        adaptive=RegulatorConfig(budget=0.01),
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestRegulatorConfig:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"budget": 0.0},
+            {"budget": 1.0},
+            {"control_interval": 0},
+            {"low_water": 1.0},
+            {"backoff": 1.0},
+            {"recovery": 1.0},
+            {"min_period": 0},
+            {"min_period": 100.0, "max_period": 50.0},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            RegulatorConfig(**kw)
+
+    def test_defaults_sane(self):
+        cfg = RegulatorConfig()
+        assert 0 < cfg.budget < 1
+        assert cfg.backoff > 1 > cfg.recovery
+
+
+class TestAdaptiveSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSampler(period=0)
+
+    def test_mutable(self):
+        s = AdaptiveSampler(period=1000.0)
+        s.period = 2000.0
+        assert s.period == 2000.0
+
+
+class TestRegulationEndToEnd:
+    def test_overhead_brought_down_vs_static(self):
+        adaptive = simulate(adaptive_cfg())
+        static = simulate(adaptive_cfg(adaptive=None))
+        assert (
+            adaptive.pd_cpu_utilization_per_node
+            < 0.25 * static.pd_cpu_utilization_per_node
+        )
+
+    def test_period_backed_off(self):
+        system = ParadynISSystem(adaptive_cfg())
+        system.run()
+        final = system.apps[0].sampler_state.period
+        assert final > 5 * 1_000.0  # grew far beyond the initial period
+
+    def test_decisions_recorded(self):
+        system = ParadynISSystem(adaptive_cfg(duration=3_000_000.0))
+        system.run()
+        reg = system.regulators[0]
+        assert len(reg.decisions) >= 10
+        assert any(d.acted for d in reg.decisions)
+        # Decision log is time-ordered and internally consistent.
+        times = [d.time for d in reg.decisions]
+        assert times == sorted(times)
+        for d in reg.decisions:
+            if d.new_period != d.old_period:
+                assert d.acted
+
+    def test_respects_period_bounds(self):
+        cfg = adaptive_cfg(
+            adaptive=RegulatorConfig(budget=0.0001, max_period=50_000.0)
+        )
+        system = ParadynISSystem(cfg)
+        system.run()
+        assert system.apps[0].sampler_state.period <= 50_000.0
+
+    def test_under_budget_workload_keeps_rate(self):
+        """A 40 ms sampling period is far below a 5 % budget: the
+        regulator may only speed sampling up (recovery), never slow it."""
+        cfg = adaptive_cfg(
+            sampling_period=40_000.0,
+            adaptive=RegulatorConfig(budget=0.05, min_period=20_000.0),
+        )
+        system = ParadynISSystem(cfg)
+        system.run()
+        assert system.apps[0].sampler_state.period <= 40_000.0
+
+    def test_recovery_speeds_sampling_up(self):
+        cfg = adaptive_cfg(
+            sampling_period=200_000.0,  # very light
+            adaptive=RegulatorConfig(budget=0.05, min_period=10_000.0),
+            duration=10_000_000.0,
+        )
+        system = ParadynISSystem(cfg)
+        system.run()
+        assert system.apps[0].sampler_state.period < 200_000.0
+
+    def test_adapt_batch_grows_batch_first(self):
+        cfg = adaptive_cfg(
+            adaptive=RegulatorConfig(budget=0.01, adapt_batch=True, max_batch=64)
+        )
+        system = ParadynISSystem(cfg)
+        system.run()
+        assert system.daemons[0].batch_size > 1
+
+    def test_per_node_regulators(self):
+        system = ParadynISSystem(adaptive_cfg(nodes=3, duration=1_000_000.0))
+        assert len(system.regulators) == 3
+
+    def test_smp_gets_single_regulator(self):
+        from repro.rocc import Architecture
+
+        cfg = adaptive_cfg(
+            architecture=Architecture.SMP,
+            nodes=4,
+            app_processes_per_node=4,
+            duration=1_000_000.0,
+        )
+        system = ParadynISSystem(cfg)
+        assert len(system.regulators) == 1
+
+    def test_static_config_has_no_regulators(self):
+        system = ParadynISSystem(adaptive_cfg(adaptive=None, duration=500_000.0))
+        assert system.regulators == []
+        assert system.apps[0].sampler_state is None
+
+    def test_regulated_run_still_delivers_samples(self):
+        r = simulate(adaptive_cfg())
+        assert r.samples_received > 100

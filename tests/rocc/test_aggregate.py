@@ -1,0 +1,138 @@
+"""Tests for the aggregated large-n mode vs the full simulation."""
+
+import pytest
+
+from repro.rocc import (
+    Architecture,
+    ForwardingTopology,
+    SimulationConfig,
+    simulate,
+    simulate_aggregated,
+)
+
+
+def mpp(**kw):
+    base = dict(
+        architecture=Architecture.MPP,
+        nodes=8,
+        duration=3_000_000.0,
+        sampling_period=20_000.0,
+        batch_size=8,
+        seed=17,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def test_agrees_with_full_simulation_on_pd_overhead():
+    cfg = mpp()
+    full = simulate(cfg)
+    aggr = simulate_aggregated(cfg)
+    assert aggr.pd_cpu_time_per_node == pytest.approx(
+        full.pd_cpu_time_per_node, rel=0.1
+    )
+
+
+def test_agrees_on_app_utilization():
+    cfg = mpp()
+    full = simulate(cfg)
+    aggr = simulate_aggregated(cfg)
+    assert aggr.app_cpu_utilization_per_node == pytest.approx(
+        full.app_cpu_utilization_per_node, rel=0.05
+    )
+
+
+def test_agrees_on_main_cpu_within_tolerance():
+    cfg = mpp()
+    full = simulate(cfg)
+    aggr = simulate_aggregated(cfg)
+    assert aggr.main_cpu_time == pytest.approx(full.main_cpu_time, rel=0.35)
+
+
+def test_agrees_on_total_latency():
+    cfg = mpp()
+    full = simulate(cfg)
+    aggr = simulate_aggregated(cfg)
+    assert aggr.monitoring_latency_total == pytest.approx(
+        full.monitoring_latency_total, rel=0.25
+    )
+
+
+def test_reports_true_node_count():
+    r = simulate_aggregated(mpp(nodes=256))
+    assert r.nodes == 256
+    assert "aggregated" in r.config_summary
+    assert "n=256" in r.config_summary
+
+
+def test_main_load_scales_with_phantom_nodes():
+    small = simulate_aggregated(mpp(nodes=8))
+    large = simulate_aggregated(mpp(nodes=64))
+    assert large.main_cpu_time > 4 * small.main_cpu_time
+    # Per-node daemon work is unchanged.
+    assert large.pd_cpu_time_per_node == pytest.approx(
+        small.pd_cpu_time_per_node, rel=0.05
+    )
+
+
+def test_single_node_has_no_phantoms():
+    r = simulate_aggregated(mpp(nodes=1))
+    full = simulate(mpp(nodes=1))
+    assert r.samples_generated == full.samples_generated
+
+
+def test_tree_mode_merges_at_detailed_node():
+    r = simulate_aggregated(mpp(nodes=64, forwarding=ForwardingTopology.TREE))
+    assert r.merges_total > 0
+    direct = simulate_aggregated(mpp(nodes=64))
+    assert r.pd_cpu_time_per_node > direct.pd_cpu_time_per_node
+
+
+def test_tree_mode_does_not_double_count_main():
+    tree = simulate_aggregated(mpp(nodes=64, forwarding=ForwardingTopology.TREE))
+    direct = simulate_aggregated(mpp(nodes=64))
+    assert tree.samples_received == pytest.approx(direct.samples_received, rel=0.1)
+
+
+def test_uninstrumented_aggregate_has_no_phantom_traffic():
+    r = simulate_aggregated(mpp(nodes=64, instrumented=False))
+    assert r.samples_generated == 0
+    assert r.samples_received == 0
+    assert r.main_cpu_time == 0.0
+
+
+def test_shared_network_aggregation_warns():
+    import warnings
+
+    from repro.rocc import Architecture
+
+    cfg = SimulationConfig(
+        architecture=Architecture.NOW, nodes=8, duration=200_000.0, seed=1
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        simulate_aggregated(cfg)
+    assert any("shared" in str(w.message) for w in caught)
+
+
+def test_contention_free_aggregation_does_not_warn():
+    import warnings
+
+    cfg = mpp(duration=200_000.0)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        simulate_aggregated(cfg)
+    assert not [w for w in caught if issubclass(w.category, RuntimeWarning)]
+
+
+def test_aggregated_much_faster_at_scale():
+    import time
+
+    cfg = mpp(nodes=64, duration=1_000_000.0)
+    t0 = time.time()
+    simulate_aggregated(cfg)
+    aggr_time = time.time() - t0
+    t0 = time.time()
+    simulate(cfg)
+    full_time = time.time() - t0
+    assert aggr_time < full_time / 3

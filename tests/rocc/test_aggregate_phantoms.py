@@ -1,0 +1,90 @@
+"""Focused tests of the aggregated mode's phantom-traffic construction."""
+
+import pytest
+
+from repro.rocc import (
+    Architecture,
+    ForwardingTopology,
+    SimulationConfig,
+)
+from repro.rocc.aggregate import AggregatedParadynISSystem
+
+
+def cfg(**kw):
+    base = dict(
+        architecture=Architecture.MPP, nodes=16, duration=2_000_000.0,
+        sampling_period=10_000.0, batch_size=4, seed=41,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def test_phantom_arrival_rate_matches_superposition():
+    """Main receives ≈ n · apps/T samples per second in total (averaged
+    over replications; one 2-second window has ±7 % Poisson noise)."""
+    rates = [
+        AggregatedParadynISSystem(cfg(replication=i)).run().received_throughput
+        for i in range(4)
+    ]
+    expected_rate = 16 * 1 / 0.010  # samples per second
+    assert sum(rates) / len(rates) == pytest.approx(expected_rate, rel=0.07)
+
+
+def test_phantom_batches_have_full_size():
+    system = AggregatedParadynISSystem(cfg())
+    sizes = []
+    original = system.main.deliver
+
+    def spy(batch):
+        sizes.append(len(batch.samples))
+        original(batch)
+
+    # Rewire: the phantom stream binds main.deliver at call time via the
+    # closure argument, so patch the attribute before running.
+    system.main.deliver = spy
+    # The detailed daemon's uplink was captured at construction; only
+    # phantom deliveries flow through the patched attribute... patch the
+    # daemon's too for completeness.
+    system.daemons[0].deliver_up = spy
+    system.daemons[0].merge_deliver = spy
+    system.run()
+    assert sizes and all(s == 4 for s in sizes)
+
+
+def test_phantom_sample_ages_are_staggered():
+    """Samples in a phantom batch are backdated by the sampling period
+    so the accumulation component of total latency is realistic."""
+    system = AggregatedParadynISSystem(cfg(batch_size=8))
+    batch = system._make_phantom_batch(node=1)
+    ages = [system.env.now - s.created_at for s in batch.samples]
+    # Oldest first, spaced ~one period apart (clamped at t=0 here).
+    assert ages == sorted(ages, reverse=True)
+    assert len(batch.samples) == 8
+
+
+def test_phantom_total_latency_close_to_full_sim():
+    from repro.rocc import simulate
+
+    full = simulate(cfg(nodes=8))
+    aggr = AggregatedParadynISSystem(cfg(nodes=8)).run()
+    assert aggr.monitoring_latency_total == pytest.approx(
+        full.monitoring_latency_total, rel=0.3
+    )
+
+
+def test_tree_phantoms_feed_detailed_inbox():
+    merges = [
+        AggregatedParadynISSystem(
+            cfg(forwarding=ForwardingTopology.TREE, replication=i)
+        ).run().merges_total
+        for i in range(4)
+    ]
+    # Average merge arrivals per node: lambda * (n-1)/n over the run.
+    lam_batches_per_s = (1 / 0.010) / 4  # apps/T/b
+    expected = lam_batches_per_s * (16 - 1) / 16 * 2.0  # over 2 s
+    assert sum(merges) / len(merges) == pytest.approx(expected, rel=0.25)
+
+
+def test_nodes_must_be_positive():
+    with pytest.raises(ValueError):
+        AggregatedParadynISSystem(cfg(nodes=0))

@@ -1,0 +1,195 @@
+"""Tests for the round-robin CPU scheduler with quantum."""
+
+import pytest
+
+from repro.des import Environment
+from repro.rocc import ProcessorSharingCPU, RoundRobinCPU
+from repro.workload import ProcessType
+
+APP = ProcessType.APPLICATION
+PD = ProcessType.PARADYN_DAEMON
+
+
+def test_validation(env):
+    with pytest.raises(ValueError):
+        RoundRobinCPU(env, n_cpus=0)
+    with pytest.raises(ValueError):
+        RoundRobinCPU(env, quantum=0)
+
+
+def test_single_job_runs_to_completion(env):
+    cpu = RoundRobinCPU(env, quantum=10_000)
+    done = []
+
+    def proc(env):
+        yield cpu.execute(2_500, APP)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [2_500.0]
+    assert cpu.busy_time(APP) == 2_500.0
+
+
+def test_zero_length_request_completes_immediately(env):
+    cpu = RoundRobinCPU(env)
+    ev = cpu.execute(0.0, APP)
+    assert ev.triggered
+
+
+def test_long_job_time_sliced(env):
+    """A 25k job with quantum 10k shares the CPU with a short job that
+    arrives mid-run: the short job gets a slice after one quantum."""
+    cpu = RoundRobinCPU(env, quantum=10_000)
+    log = []
+
+    def long_job(env):
+        yield cpu.execute(25_000, APP)
+        log.append(("long", env.now))
+
+    def short_job(env):
+        yield env.timeout(1_000)
+        yield cpu.execute(2_000, PD)
+        log.append(("short", env.now))
+
+    env.process(long_job(env))
+    env.process(short_job(env))
+    env.run()
+    # Long runs [0,10k); short runs [10k,12k); long resumes [12k, 27k).
+    assert log == [("short", 12_000.0), ("long", 27_000.0)]
+
+
+def test_round_robin_fairness_two_long_jobs(env):
+    cpu = RoundRobinCPU(env, quantum=10_000)
+    log = []
+
+    def job(env, name, amount):
+        yield cpu.execute(amount, APP)
+        log.append((name, env.now))
+
+    env.process(job(env, "a", 30_000))
+    env.process(job(env, "b", 30_000))
+    env.run()
+    # Interleaved quanta: a finishes at 50k (a,b,a,b,a), b at 60k.
+    assert log == [("a", 50_000.0), ("b", 60_000.0)]
+
+
+def test_two_cpus_run_in_parallel(env):
+    cpu = RoundRobinCPU(env, n_cpus=2, quantum=10_000)
+    done = []
+
+    def job(env, name):
+        yield cpu.execute(5_000, APP)
+        done.append((name, env.now))
+
+    env.process(job(env, "a"))
+    env.process(job(env, "b"))
+    env.run()
+    assert done == [("a", 5_000.0), ("b", 5_000.0)]
+
+
+def test_busy_accounting_by_owner(env):
+    cpu = RoundRobinCPU(env, quantum=10_000)
+
+    def proc(env):
+        yield cpu.execute(3_000, APP)
+        yield cpu.execute(1_000, PD)
+
+    env.process(proc(env))
+    env.run()
+    assert cpu.busy_time(APP) == 3_000.0
+    assert cpu.busy_time(PD) == 1_000.0
+    assert cpu.busy_time(ProcessType.OTHER) == 0.0
+
+
+def test_utilization(env):
+    cpu = RoundRobinCPU(env, quantum=10_000)
+
+    def proc(env):
+        yield cpu.execute(4_000, APP)
+
+    env.process(proc(env))
+    env.run(until=10_000)
+    assert cpu.utilization() == pytest.approx(0.4)
+
+
+def test_utilization_multi_cpu(env):
+    cpu = RoundRobinCPU(env, n_cpus=2, quantum=10_000)
+
+    def proc(env):
+        yield cpu.execute(4_000, APP)
+
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run(until=10_000)
+    assert cpu.utilization() == pytest.approx(0.4)  # 8k busy over 2*10k
+
+
+def test_work_conservation_many_jobs(env):
+    """Total busy time equals total demand; the makespan is bounded by
+    work/capacity from below (no free lunch) and by work/capacity plus
+    one job's demand from above (RR cannot split a single job across
+    CPUs, so one processor may idle in the tail)."""
+    cpu = RoundRobinCPU(env, n_cpus=2, quantum=1_000)
+    amounts = [1_500, 2_500, 700, 4_300, 900, 100]
+
+    def job(env, a):
+        yield cpu.execute(a, APP)
+
+    for a in amounts:
+        env.process(job(env, a))
+    env.run()
+    assert cpu.busy_time(APP) == pytest.approx(sum(amounts))
+    lower = sum(amounts) / 2
+    assert lower - 1e-9 <= env.now <= lower + max(amounts) + 1e-9
+
+
+def test_queue_length_visible(env):
+    cpu = RoundRobinCPU(env, quantum=10_000)
+
+    def job(env):
+        yield cpu.execute(20_000, APP)
+
+    for _ in range(3):
+        env.process(job(env))
+    env.run(until=100)
+    assert cpu.queue_length == 2  # one running, two queued
+
+
+def test_processor_sharing_completion_time(env):
+    """Two equal PS jobs on one CPU both finish at 2x their demand."""
+    cpu = ProcessorSharingCPU(env, n_cpus=1)
+    done = []
+
+    def job(env, name):
+        yield cpu.execute(10_000, APP)
+        done.append((name, env.now))
+
+    env.process(job(env, "a"))
+    env.process(job(env, "b"))
+    env.run()
+    assert done[0][1] == pytest.approx(20_000.0)
+    assert done[1][1] == pytest.approx(20_000.0)
+    assert cpu.busy_time(APP) == pytest.approx(20_000.0)
+
+
+def test_processor_sharing_staggered_arrivals(env):
+    cpu = ProcessorSharingCPU(env, n_cpus=1)
+    done = []
+
+    def first(env):
+        yield cpu.execute(10_000, APP)
+        done.append(("first", env.now))
+
+    def second(env):
+        yield env.timeout(5_000)
+        yield cpu.execute(2_500, PD)
+        done.append(("second", env.now))
+
+    env.process(first(env))
+    env.process(second(env))
+    env.run()
+    # first alone [0,5k) does 5k; shared until second done:
+    # second needs 2.5k at rate 1/2 -> done at 10k; first then has 2.5k
+    # left, finishing at 12.5k.
+    assert done == [("second", 10_000.0), ("first", 12_500.0)]

@@ -1,0 +1,86 @@
+"""Tests for the Metrics accumulator and SimulationResults container."""
+
+import math
+
+import pytest
+
+from repro.rocc.metrics import Metrics, SimulationResults
+
+
+class TestMetrics:
+    def test_initial_state(self):
+        m = Metrics()
+        assert m.samples_generated == 0
+        assert m.samples_received == 0
+        assert math.isnan(m.latency_total.mean)
+
+    def test_note_forward_accumulates(self):
+        m = Metrics()
+        m.note_forward(0, 5)
+        m.note_forward(0, 3)
+        m.note_forward(2, 1)
+        assert m.forwarded_by_node == {0: 8, 2: 1}
+        assert m.forward_calls_by_node == {0: 2, 2: 1}
+
+    def test_note_receipt_updates_latencies(self):
+        m = Metrics()
+        m.note_receipt(now=150.0, created_at=50.0, ready_at=120.0)
+        assert m.samples_received == 1
+        assert m.latency_total.mean == 100.0
+        assert m.latency_forwarding.mean == 30.0
+
+    def test_note_merge(self):
+        m = Metrics()
+        m.note_merge(3)
+        m.note_merge(3)
+        assert m.merges_by_node == {3: 2}
+
+    def test_reset(self):
+        m = Metrics()
+        m.note_forward(0, 5)
+        m.note_receipt(10.0, 0.0, 0.0)
+        m.reset()
+        assert m.samples_received == 0
+        assert m.forwarded_by_node == {}
+
+
+def make_results(**kw):
+    base = dict(
+        config_summary="test",
+        duration=2_000_000.0,
+        nodes=4,
+        pd_cpu_time_per_node=40_000.0,
+        main_cpu_time=100_000.0,
+    )
+    base.update(kw)
+    return SimulationResults(**base)
+
+
+class TestSimulationResults:
+    def test_seconds_conversions(self):
+        r = make_results()
+        assert r.duration_seconds == 2.0
+        assert r.pd_cpu_seconds_per_node == 0.04
+        assert r.main_cpu_seconds == 0.1
+
+    def test_is_cpu_seconds_per_node(self):
+        r = make_results()
+        assert r.is_cpu_seconds_per_node == pytest.approx(
+            (40_000.0 + 100_000.0 / 4) / 1e6
+        )
+
+    def test_latency_ms_conversions(self):
+        r = make_results(
+            monitoring_latency_forwarding=1500.0,
+            monitoring_latency_total=250_000.0,
+        )
+        assert r.monitoring_latency_forwarding_ms == 1.5
+        assert r.monitoring_latency_total_ms == 250.0
+
+    def test_delivery_ratio(self):
+        r = make_results(samples_generated=200, samples_received=180)
+        assert r.delivery_ratio == pytest.approx(0.9)
+
+    def test_delivery_ratio_nan_without_samples(self):
+        r = make_results()
+        assert math.isnan(r.delivery_ratio)

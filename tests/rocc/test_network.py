@@ -1,0 +1,119 @@
+"""Tests for the interconnect models (FIFO shared vs contention-free)."""
+
+import pytest
+
+from repro.rocc import ContentionFreeNetwork, FIFONetwork
+from repro.workload import ProcessType
+
+APP = ProcessType.APPLICATION
+PD = ProcessType.PARADYN_DAEMON
+
+
+def test_fifo_serializes_transfers(env):
+    net = FIFONetwork(env)
+    done = []
+
+    def proc(env, name, amount):
+        yield net.transfer(amount, APP)
+        done.append((name, env.now))
+
+    env.process(proc(env, "a", 100))
+    env.process(proc(env, "b", 50))
+    env.run()
+    assert done == [("a", 100.0), ("b", 150.0)]
+
+
+def test_contention_free_transfers_overlap(env):
+    net = ContentionFreeNetwork(env)
+    done = []
+
+    def proc(env, name, amount):
+        yield net.transfer(amount, APP)
+        done.append((name, env.now))
+
+    env.process(proc(env, "a", 100))
+    env.process(proc(env, "b", 50))
+    env.run()
+    assert done == [("b", 50.0), ("a", 100.0)]
+
+
+@pytest.mark.parametrize("cls", [FIFONetwork, ContentionFreeNetwork])
+def test_busy_accounting(env, cls):
+    net = cls(env)
+
+    def proc(env):
+        yield net.transfer(30, APP)
+        yield net.transfer(20, PD)
+
+    env.process(proc(env))
+    env.run()
+    assert net.busy_time(APP) == 30.0
+    assert net.busy_time(PD) == 20.0
+    assert net.total_busy_time() == 50.0
+    assert net.transfers == 2
+
+
+@pytest.mark.parametrize("cls", [FIFONetwork, ContentionFreeNetwork])
+def test_zero_amount_completes_immediately(env, cls):
+    net = cls(env)
+    hits = []
+    ev = net.transfer(0.0, APP, payload="p", deliver=hits.append)
+    assert ev.triggered
+    assert hits == ["p"]
+
+
+def test_deliver_callback_at_completion_time(env):
+    net = FIFONetwork(env)
+    deliveries = []
+
+    def proc(env):
+        yield net.transfer(40, PD, payload="batch", deliver=lambda b: deliveries.append((b, env.now)))
+
+    env.process(proc(env))
+    env.run()
+    assert deliveries == [("batch", 40.0)]
+
+
+def test_fifo_utilization(env):
+    net = FIFONetwork(env)
+
+    def proc(env):
+        yield net.transfer(25, APP)
+
+    env.process(proc(env))
+    env.run(until=100)
+    assert net.utilization() == pytest.approx(0.25)
+
+
+def test_fifo_queue_length(env):
+    net = FIFONetwork(env)
+
+    def proc(env):
+        yield net.transfer(1000, APP)
+
+    for _ in range(3):
+        env.process(proc(env))
+    env.run(until=10)
+    assert net.queue_length == 2
+
+
+def test_contention_free_offered_load_can_exceed_one(env):
+    net = ContentionFreeNetwork(env)
+
+    def proc(env):
+        yield net.transfer(100, APP)
+
+    for _ in range(5):
+        env.process(proc(env))
+    env.run(until=101)
+    assert net.total_busy_time() == pytest.approx(500.0)
+    assert net.utilization(now=100.0) == pytest.approx(5.0)
+
+
+def test_fire_and_forget_transfer_still_accounts(env):
+    """Transfers issued without yielding (phantom traffic) complete."""
+    net = FIFONetwork(env)
+    net.transfer(10, PD)
+    net.transfer(5, PD)
+    env.run()
+    assert net.total_busy_time() == 15.0

@@ -1,0 +1,150 @@
+"""Integration tests of the full NOW simulation."""
+
+import pytest
+
+from repro.rocc import NetworkMode, SimulationConfig, simulate
+
+
+@pytest.fixture(scope="module")
+def cf_result():
+    return simulate(
+        SimulationConfig(nodes=2, duration=2_000_000.0, sampling_period=20_000.0,
+                         batch_size=1, seed=7)
+    )
+
+
+@pytest.fixture(scope="module")
+def bf_result():
+    return simulate(
+        SimulationConfig(nodes=2, duration=2_000_000.0, sampling_period=20_000.0,
+                         batch_size=32, seed=7)
+    )
+
+
+def test_samples_flow_end_to_end(cf_result):
+    r = cf_result
+    # 2 nodes x 1 app x (2 s / 20 ms) samples, minus edge effects.
+    assert r.samples_generated == pytest.approx(200, abs=4)
+    assert r.samples_received > 0.9 * r.samples_generated
+    assert r.batches_received == r.samples_received  # CF: one per sample
+
+
+def test_bf_batches(bf_result):
+    r = bf_result
+    assert r.batches_received * 32 == r.samples_received
+
+
+def test_cf_latency_positive_and_reasonable(cf_result):
+    assert 0 < cf_result.monitoring_latency_forwarding < 100_000.0  # < 100 ms
+
+
+def test_bf_total_latency_includes_accumulation(bf_result):
+    # ~ (batch/2) * period per node: 16 * 20ms = 320 ms.
+    assert bf_result.monitoring_latency_total == pytest.approx(
+        16 * 20_000.0, rel=0.3
+    )
+    assert (
+        bf_result.monitoring_latency_forwarding
+        < bf_result.monitoring_latency_total
+    )
+
+
+def test_bf_cuts_pd_overhead_by_more_than_60_percent(cf_result, bf_result):
+    """The paper's headline result."""
+    reduction = 1 - bf_result.pd_cpu_time_per_node / cf_result.pd_cpu_time_per_node
+    assert reduction > 0.60
+
+
+def test_bf_cuts_main_overhead_by_about_80_percent(cf_result, bf_result):
+    reduction = 1 - bf_result.main_cpu_time / cf_result.main_cpu_time
+    assert 0.70 < reduction < 0.90
+
+
+def test_bf_forwarding_latency_lower(cf_result, bf_result):
+    assert (
+        bf_result.monitoring_latency_forwarding
+        < cf_result.monitoring_latency_forwarding
+    )
+
+
+def test_throughput_matches_sampling_rate(cf_result):
+    # One app per node at a 20 ms period: 50 samples/s per daemon.
+    assert cf_result.throughput_per_daemon == pytest.approx(50.0, rel=0.1)
+
+
+def test_app_cpu_utilization_sane(cf_result):
+    assert 0.5 < cf_result.app_cpu_utilization_per_node < 1.0
+
+
+def test_uninstrumented_baseline_has_no_is_activity():
+    r = simulate(
+        SimulationConfig(nodes=2, duration=1_000_000.0, instrumented=False, seed=3)
+    )
+    assert r.samples_generated == 0
+    assert r.samples_received == 0
+    assert r.pd_cpu_time_per_node == 0.0
+    assert r.main_cpu_time == 0.0
+    assert r.app_cpu_utilization_per_node > 0.5
+
+
+def test_uninstrumented_app_does_better_or_equal():
+    kw = dict(nodes=2, duration=1_000_000.0, sampling_period=5_000.0, seed=3)
+    instrumented = simulate(SimulationConfig(batch_size=1, **kw))
+    baseline = simulate(SimulationConfig(instrumented=False, **kw))
+    assert baseline.app_cycles >= instrumented.app_cycles
+
+
+def test_reproducible_with_same_seed():
+    cfg = SimulationConfig(nodes=2, duration=500_000.0, seed=42)
+    a, b = simulate(cfg), simulate(cfg)
+    assert a.pd_cpu_time_per_node == b.pd_cpu_time_per_node
+    assert a.monitoring_latency_forwarding == b.monitoring_latency_forwarding
+    assert a.samples_received == b.samples_received
+
+
+def test_different_replications_differ():
+    cfg = SimulationConfig(nodes=2, duration=500_000.0, seed=42)
+    a = simulate(cfg)
+    b = simulate(cfg.with_(replication=1))
+    assert a.pd_cpu_time_per_node != b.pd_cpu_time_per_node
+
+
+def test_shared_network_contention_raises_latency():
+    kw = dict(nodes=8, duration=1_000_000.0, sampling_period=5_000.0,
+              batch_size=1, seed=5)
+    shared = simulate(SimulationConfig(network_mode=NetworkMode.SHARED, **kw))
+    free = simulate(
+        SimulationConfig(network_mode=NetworkMode.CONTENTION_FREE, **kw)
+    )
+    assert (
+        shared.monitoring_latency_forwarding
+        >= free.monitoring_latency_forwarding
+    )
+
+
+def test_warmup_reduces_measured_window():
+    cfg = SimulationConfig(nodes=1, duration=2_000_000.0, warmup=1_000_000.0,
+                           seed=9)
+    r = simulate(cfg)
+    assert r.duration == 1_000_000.0
+    full = simulate(cfg.with_(warmup=0.0))
+    # Busy time over the half window must be about half the full window's.
+    assert r.app_cpu_time_per_node == pytest.approx(
+        full.app_cpu_time_per_node / 2, rel=0.15
+    )
+
+
+def test_shorter_sampling_period_costs_more(cf_result):
+    fast = simulate(
+        SimulationConfig(nodes=2, duration=2_000_000.0, sampling_period=5_000.0,
+                         batch_size=1, seed=7)
+    )
+    assert fast.pd_cpu_time_per_node > cf_result.pd_cpu_time_per_node
+
+
+def test_cpu_busy_breakdown_consistent(cf_result):
+    r = cf_result
+    total_app = sum(
+        v for (node, owner), v in r.cpu_busy.items() if owner.value == "application"
+    )
+    assert total_app / r.nodes == pytest.approx(r.app_cpu_time_per_node)

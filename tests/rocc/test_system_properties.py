@@ -1,0 +1,110 @@
+"""Property-based invariants of the full ROCC simulation (hypothesis).
+
+Small randomized configurations across all three architectures must
+satisfy conservation and sanity invariants regardless of parameters.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.rocc import Architecture, ForwardingTopology, SimulationConfig, simulate
+from repro.workload import ProcessType
+
+CONFIGS = st.fixed_dictionaries(
+    {
+        "architecture": st.sampled_from(list(Architecture)),
+        "nodes": st.integers(min_value=1, max_value=4),
+        "app_processes_per_node": st.integers(min_value=1, max_value=3),
+        "sampling_period": st.sampled_from([5_000.0, 20_000.0, 50_000.0]),
+        "batch_size": st.sampled_from([1, 2, 8]),
+        "daemons": st.integers(min_value=1, max_value=2),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+def build(params) -> SimulationConfig:
+    tree = (
+        params["architecture"] is Architecture.MPP
+        and params["seed"] % 2 == 0
+        and params["nodes"] > 1
+    )
+    return SimulationConfig(
+        duration=400_000.0,
+        forwarding=ForwardingTopology.TREE if tree else ForwardingTopology.DIRECT,
+        **params,
+    )
+
+
+@given(CONFIGS)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_conservation_invariants(params):
+    cfg = build(params)
+    r = simulate(cfg)
+
+    # Sample conservation: received <= forwarded-capable <= generated.
+    assert 0 <= r.samples_received <= r.samples_generated
+    assert r.batches_received <= max(r.samples_received, 0) or r.samples_received == 0
+
+    # Utilizations are proper fractions of their capacity.
+    assert 0.0 <= r.pd_cpu_utilization_per_node <= 1.0 + 1e-9
+    assert 0.0 <= r.app_cpu_utilization_per_node <= 1.0 + 1e-9
+    assert 0.0 <= r.main_cpu_utilization <= 1.0 + 1e-9
+
+    # CPU accounting: per-node busy never exceeds capacity x duration.
+    total_busy = sum(r.cpu_busy.values())
+    n_worker_cpus = (
+        cfg.nodes
+        if cfg.architecture is Architecture.SMP
+        else cfg.nodes * cfg.cpus_per_node
+    )
+    # SMP hosts the main process on the pooled CPUs.
+    assert total_busy <= n_worker_cpus * r.duration * (1 + 1e-9)
+
+    # Latency tallies only exist when samples were received.
+    if r.samples_received:
+        assert r.monitoring_latency_total > 0
+        assert r.monitoring_latency_forwarding >= 0
+        # Total latency (incl. accumulation) dominates forwarding latency.
+        assert (
+            r.monitoring_latency_total
+            >= r.monitoring_latency_forwarding - 1e-9
+        )
+
+
+@given(CONFIGS)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_determinism(params):
+    cfg = build(params)
+    a, b = simulate(cfg), simulate(cfg)
+    assert a.samples_received == b.samples_received
+    assert a.pd_cpu_time_per_node == b.pd_cpu_time_per_node
+    assert a.app_cpu_time_per_node == b.app_cpu_time_per_node
+
+
+@given(CONFIGS)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_uninstrumented_baseline_dominates(params):
+    cfg = build(params)
+    instrumented = simulate(cfg)
+    baseline = simulate(cfg.with_(instrumented=False))
+    assert baseline.pd_cpu_time_per_node == 0.0
+    # Instrumentation never helps the application.
+    assert instrumented.app_cycles <= baseline.app_cycles + 2
+
+
+@given(st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=10, deadline=None)
+def test_pd_busy_matches_owner_accounting(seed):
+    """The results' per-node breakdown sums to the reported totals."""
+    cfg = SimulationConfig(nodes=3, duration=400_000.0, seed=seed)
+    r = simulate(cfg)
+    pd_total = sum(
+        v
+        for (node, owner), v in r.cpu_busy.items()
+        if owner is ProcessType.PARADYN_DAEMON
+    )
+    assert abs(pd_total / 3 - r.pd_cpu_time_per_node) < 1e-6

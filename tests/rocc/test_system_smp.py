@@ -1,0 +1,97 @@
+"""Integration tests of the SMP simulation."""
+
+import pytest
+
+from repro.rocc import Architecture, SimulationConfig, simulate
+
+
+def smp(**kw):
+    base = dict(
+        architecture=Architecture.SMP,
+        nodes=4,
+        app_processes_per_node=4,  # total apps on the SMP
+        duration=1_500_000.0,
+        sampling_period=20_000.0,
+        seed=11,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def test_samples_flow(env=None):
+    r = simulate(smp())
+    # 4 apps x 1.5 s / 20 ms = 300 samples.
+    assert r.samples_generated == pytest.approx(300, abs=8)
+    assert r.samples_received > 0.9 * r.samples_generated
+
+
+def test_apps_share_pooled_cpus():
+    r = simulate(smp(nodes=2, app_processes_per_node=8))
+    # 8 always-ready apps on 2 CPUs: both CPUs nearly saturated.
+    assert r.app_cpu_utilization_per_node > 0.85
+
+
+def test_multiple_daemons_split_load():
+    r1 = simulate(smp(daemons=1))
+    r4 = simulate(smp(daemons=4))
+    assert r1.throughput_per_daemon == pytest.approx(
+        4 * r4.throughput_per_daemon, rel=0.15
+    )
+
+
+def test_is_utilization_includes_main():
+    r = simulate(smp())
+    assert r.is_cpu_utilization_per_node > r.pd_cpu_utilization_per_node
+
+
+def test_bf_reduces_is_overhead_on_smp():
+    cf = simulate(smp(batch_size=1))
+    bf = simulate(smp(batch_size=32))
+    assert bf.pd_cpu_time_per_node < 0.5 * cf.pd_cpu_time_per_node
+    assert bf.main_cpu_time < 0.5 * cf.main_cpu_time
+
+
+def test_single_daemon_saturates_at_many_cpus():
+    """§4.3.2: one daemon cannot keep up once many CPUs generate samples
+    under CF; four daemons can."""
+    kw = dict(nodes=32, app_processes_per_node=32, duration=1_500_000.0,
+              sampling_period=40_000.0, batch_size=1, seed=21,
+              architecture=Architecture.SMP)
+    one = simulate(SimulationConfig(daemons=1, **kw))
+    four = simulate(SimulationConfig(daemons=4, **kw))
+    demand = 32 / 0.040  # samples per second
+    total_one = one.throughput_per_daemon * 1
+    total_four = four.throughput_per_daemon * 4
+    assert total_one < 0.5 * demand
+    assert total_four > 1.5 * total_one
+
+
+def test_one_daemon_suffices_under_bf():
+    """§4.3.2: with batching, one daemon keeps up at 16 CPUs."""
+    kw = dict(nodes=16, app_processes_per_node=16, duration=2_000_000.0,
+              sampling_period=40_000.0, batch_size=32, seed=21,
+              architecture=Architecture.SMP)
+    one = simulate(SimulationConfig(daemons=1, **kw))
+    demand = 16 / 0.040
+    assert one.throughput_per_daemon > 0.85 * demand
+
+
+def test_bus_shared_by_apps_and_daemons():
+    r = simulate(smp())
+    assert r.network_utilization > r.pd_network_utilization > 0
+
+
+def test_small_period_fills_pipes_and_blocks_apps():
+    """§4.3.3: at very small sampling periods the pipes fill and the
+    application blocks on sample writes."""
+    r = simulate(
+        smp(
+            nodes=2,
+            app_processes_per_node=8,
+            sampling_period=1_000.0,
+            pipe_capacity=16,
+            duration=2_000_000.0,
+        )
+    )
+    assert r.pipe_blocked_puts > 0
+    assert r.pipe_blocked_time > 0

@@ -1,0 +1,71 @@
+"""Tests for the batch-size knee recommendation (§4.2.4)."""
+
+import pytest
+
+from repro.rocc import SimulationConfig, recommend_batch_size
+
+
+def cfg(**kw):
+    base = dict(nodes=2, sampling_period=5_000.0, duration=2_000_000.0, seed=71)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="CF anchor"):
+        recommend_batch_size(cfg(), candidates=[2, 4])
+    with pytest.raises(ValueError, match="threshold"):
+        recommend_batch_size(cfg(), candidates=[1, 2],
+                             marginal_gain_threshold=0.0)
+    with pytest.raises(ValueError, match="duration"):
+        recommend_batch_size(
+            cfg(duration=200_000.0), candidates=[1, 64]
+        )
+
+
+def test_recommends_past_cf():
+    rec = recommend_batch_size(cfg(), candidates=[1, 2, 4, 8, 16, 32])
+    assert rec.batch_size > 1
+    assert rec.overhead_reduction > 0.3
+    assert "knee" in rec.reason or "marginal" in rec.reason
+
+
+def test_points_cover_all_candidates():
+    rec = recommend_batch_size(cfg(), candidates=[1, 2, 8])
+    assert [p.batch_size for p in rec.points] == [1, 2, 8]
+    assert rec.cf_overhead == rec.points[0].pd_cpu_utilization
+
+
+def test_overhead_monotone_non_increasing_along_sweep():
+    rec = recommend_batch_size(cfg(), candidates=[1, 2, 4, 8, 16, 32])
+    utils = [p.pd_cpu_utilization for p in rec.points]
+    # Allow tiny noise, but the trend must be downward overall.
+    assert utils[-1] < 0.6 * utils[0]
+
+
+def test_latency_ceiling_limits_batch():
+    # Total latency ~ b x T / 2; a 30 ms ceiling at T = 5 ms caps b near 12.
+    rec = recommend_batch_size(
+        cfg(),
+        candidates=[1, 2, 4, 8, 16, 32],
+        max_latency=30_000.0,
+    )
+    assert rec.batch_size <= 16
+    assert rec.recommended_point.monitoring_latency_total <= 30_000.0
+
+
+def test_impossible_ceiling_falls_back_to_cf():
+    rec = recommend_batch_size(
+        cfg(), candidates=[1, 2, 4], max_latency=1.0
+    )
+    assert rec.batch_size == 1
+    assert "ceiling" in rec.reason
+
+
+def test_recommendation_reproducible():
+    a = recommend_batch_size(cfg(), candidates=[1, 2, 4, 8])
+    b = recommend_batch_size(cfg(), candidates=[1, 2, 4, 8])
+    assert a.batch_size == b.batch_size
+    assert [p.pd_cpu_utilization for p in a.points] == [
+        p.pd_cpu_utilization for p in b.points
+    ]

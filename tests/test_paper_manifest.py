@@ -1,0 +1,43 @@
+"""Keeps the paper-claims manifest consistent with the experiment registry."""
+
+from repro.experiments import list_experiments
+from repro.paper import CLAIMS, PAPER, Status, claims_by_status
+
+
+def test_paper_identity():
+    assert "Paradyn" in PAPER["title"]
+    assert PAPER["year"] == 1996
+    assert "Jeffrey K. Hollingsworth" in PAPER["authors"]
+
+
+def test_every_claim_references_registered_experiments():
+    registered = {e.id for e in list_experiments()}
+    for claim in CLAIMS:
+        assert claim.experiments, f"{claim.id} cites no experiments"
+        for exp in claim.experiments:
+            assert exp in registered, f"{claim.id} cites unknown {exp!r}"
+
+
+def test_claim_ids_unique():
+    ids = [c.id for c in CLAIMS]
+    assert len(ids) == len(set(ids))
+
+
+def test_headline_claims_reproduced():
+    reproduced = {c.id for c in claims_by_status(Status.REPRODUCED)}
+    assert "bf-pd-overhead" in reproduced
+    assert "bf-main-overhead" in reproduced
+    assert "app-independence" in reproduced
+
+
+def test_divergences_carry_notes():
+    for claim in CLAIMS:
+        if claim.status is not Status.REPRODUCED:
+            assert claim.note, f"{claim.id} needs an explanatory note"
+
+
+def test_status_partition():
+    total = sum(len(claims_by_status(s)) for s in Status)
+    assert total == len(CLAIMS)
+    # The overwhelming majority of claims reproduce.
+    assert len(claims_by_status(Status.DIVERGES)) <= 2

@@ -1,0 +1,54 @@
+"""Tests for antithetic variate streams."""
+
+import numpy as np
+import pytest
+
+from repro.variates import AntitheticStream, Exponential, Lognormal, StreamFactory
+
+
+def paired_streams(dist, seed=5, block=256):
+    a = AntitheticStream(
+        dist, StreamFactory(seed=seed).generator("s"), antithetic=False,
+        block=block,
+    )
+    b = AntitheticStream(
+        dist, StreamFactory(seed=seed).generator("s"), antithetic=True,
+        block=block,
+    )
+    return a, b
+
+
+def test_block_validation(rng):
+    with pytest.raises(ValueError):
+        AntitheticStream(Exponential(1.0), rng, block=0)
+
+
+def test_marginal_distribution_correct(rng):
+    stream = AntitheticStream(Exponential(100.0), rng, block=512)
+    xs = np.array([stream() for _ in range(20_000)])
+    assert xs.mean() == pytest.approx(100.0, rel=0.05)
+    assert xs.std() == pytest.approx(100.0, rel=0.05)
+
+
+def test_pairs_negatively_correlated():
+    a, b = paired_streams(Exponential(50.0))
+    xa = np.array([a() for _ in range(5000)])
+    xb = np.array([b() for _ in range(5000)])
+    corr = np.corrcoef(xa, xb)[0, 1]
+    assert corr < -0.5  # exponential antithetic pairs: corr ≈ -0.645
+
+
+def test_pair_average_has_lower_variance_than_iid():
+    a, b = paired_streams(Lognormal(100.0, 60.0))
+    pair_means = np.array([(a() + b()) / 2 for _ in range(5000)])
+    rng = np.random.default_rng(5)
+    iid = Lognormal(100.0, 60.0).sample(rng, 10_000).reshape(5000, 2).mean(axis=1)
+    assert pair_means.var() < 0.6 * iid.var()
+    # The estimator stays unbiased.
+    assert pair_means.mean() == pytest.approx(100.0, rel=0.03)
+
+
+def test_antithetic_of_antithetic_recovers_original():
+    a1, _ = paired_streams(Exponential(10.0), seed=9)
+    a2, _ = paired_streams(Exponential(10.0), seed=9)
+    assert [a1() for _ in range(10)] == [a2() for _ in range(10)]

@@ -1,0 +1,108 @@
+"""Tests for goodness-of-fit diagnostics (K-S, chi-square, Q-Q, histograms)."""
+
+import numpy as np
+import pytest
+
+from repro.variates import (
+    Exponential,
+    Lognormal,
+    chi_square_test,
+    fit_exponential,
+    histogram_series,
+    ks_statistic,
+    ks_test,
+    qq_series,
+)
+
+
+def test_ks_zero_for_perfect_quantile_data():
+    d = Exponential(10.0)
+    # Data placed at the exact plotting quantiles gives a small K-S.
+    n = 1000
+    data = d.ppf((np.arange(1, n + 1) - 0.5) / n)
+    assert ks_statistic(data, d) < 0.01
+
+
+def test_ks_detects_gross_mismatch(rng):
+    data = rng.exponential(10.0, 2000)
+    bad = Exponential(1000.0)
+    good = fit_exponential(data)
+    assert ks_statistic(data, bad) > 5 * ks_statistic(data, good)
+
+
+def test_ks_test_pvalue_reasonable(rng):
+    data = rng.exponential(10.0, 2000)
+    _, p_good = ks_test(data, fit_exponential(data))
+    _, p_bad = ks_test(data, Exponential(100.0))
+    assert p_good > 0.01
+    assert p_bad < 1e-6
+
+
+def test_ks_empty_rejected():
+    with pytest.raises(ValueError):
+        ks_statistic([], Exponential(1.0))
+
+
+def test_chi_square_accepts_good_fit(rng):
+    data = rng.exponential(50.0, 5000)
+    res = chi_square_test(data, fit_exponential(data), fitted_params=1)
+    assert not res.rejected_at_05
+
+
+def test_chi_square_rejects_bad_fit(rng):
+    data = rng.exponential(50.0, 5000)
+    res = chi_square_test(data, Exponential(10.0), fitted_params=1)
+    assert res.rejected_at_05
+    assert res.p_value < 1e-6
+
+
+def test_chi_square_needs_data():
+    with pytest.raises(ValueError):
+        chi_square_test([1.0] * 5, Exponential(1.0))
+
+
+def test_chi_square_dof_accounts_for_fitted_params(rng):
+    data = rng.exponential(50.0, 2000)
+    d = fit_exponential(data)
+    res1 = chi_square_test(data, d, n_bins=20, fitted_params=1)
+    res2 = chi_square_test(data, d, n_bins=20, fitted_params=2)
+    assert res1.dof == res2.dof + 1
+
+
+def test_qq_series_linear_for_true_distribution(rng):
+    d = Lognormal(2213.0, 3034.0)
+    data = d.sample(rng, 3000)
+    qq = qq_series(data, d)
+    assert qq.linearity() > 0.99
+    assert len(qq.theoretical) == len(qq.observed) == 3000
+
+
+def test_qq_series_tail_deviation_larger_for_wrong_family(rng):
+    data = Lognormal(2213.0, 3034.0).sample(rng, 3000)
+    right = qq_series(data, Lognormal(2213.0, 3034.0))
+    wrong = qq_series(data, Exponential(float(np.mean(data))))
+    assert wrong.max_tail_deviation() > right.max_tail_deviation()
+
+
+def test_qq_observed_sorted(rng):
+    data = rng.exponential(10.0, 100)
+    qq = qq_series(data, Exponential(10.0))
+    assert (np.diff(qq.observed) >= 0).all()
+
+
+def test_qq_empty_rejected():
+    with pytest.raises(ValueError):
+        qq_series([], Exponential(1.0))
+
+
+def test_histogram_series_structure(rng):
+    data = rng.exponential(10.0, 2000)
+    dists = {"exponential": Exponential(10.0), "lognormal": Lognormal(10.0, 10.0)}
+    h = histogram_series(data, dists, n_bins=30, n_curve_points=100)
+    assert len(h.frequencies) == 30
+    assert len(h.edges) == 31
+    assert set(h.pdf_curves) == {"exponential", "lognormal"}
+    assert all(len(c) == 100 for c in h.pdf_curves.values())
+    # Histogram is a density: integrates to ~1.
+    widths = np.diff(h.edges)
+    assert float(np.sum(h.frequencies * widths)) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,94 @@
+"""Tests for the hyperexponential distribution."""
+
+import numpy as np
+import pytest
+
+from repro.variates import Exponential, Hyperexponential
+
+
+def h2():
+    return Hyperexponential(probs=[0.9, 0.1], means=[50.0, 2000.0])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Hyperexponential(probs=[0.5], means=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        Hyperexponential(probs=[0.6, 0.6], means=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        Hyperexponential(probs=[0.5, 0.5], means=[1.0, -2.0])
+    with pytest.raises(ValueError):
+        Hyperexponential(probs=[], means=[])
+
+
+def test_mean_is_mixture():
+    d = h2()
+    assert d.mean == pytest.approx(0.9 * 50 + 0.1 * 2000)
+
+
+def test_cv_at_least_one():
+    assert h2().cv > 1.0
+    balanced = Hyperexponential(probs=[0.5, 0.5], means=[10.0, 10.0])
+    assert balanced.cv == pytest.approx(1.0)
+
+
+def test_degenerates_to_exponential():
+    d = Hyperexponential(probs=[1.0], means=[100.0])
+    e = Exponential(100.0)
+    x = np.linspace(1, 500, 20)
+    np.testing.assert_allclose(d.cdf(x), e.cdf(x), rtol=1e-12)
+    np.testing.assert_allclose(d.pdf(x), e.pdf(x), rtol=1e-12)
+
+
+def test_sample_moments(rng):
+    d = h2()
+    x = d.sample(rng, 100_000)
+    assert np.mean(x) == pytest.approx(d.mean, rel=0.05)
+    assert np.std(x) == pytest.approx(d.std, rel=0.08)
+
+
+def test_scalar_sampling(rng):
+    v = h2().sample(rng)
+    assert isinstance(v, float) and v >= 0
+
+
+def test_cdf_monotone_and_bounded():
+    d = h2()
+    x = np.linspace(0, 20_000, 200)
+    c = d.cdf(x)
+    assert (np.diff(c) >= 0).all()
+    assert 0 <= c[0] and c[-1] <= 1
+
+
+def test_ppf_inverts_cdf():
+    d = h2()
+    for q in (0.05, 0.5, 0.9, 0.99):
+        x = d.ppf(q)
+        assert float(d.cdf(x)) == pytest.approx(q, abs=1e-6)
+
+
+def test_ppf_vectorized():
+    d = h2()
+    qs = np.array([0.1, 0.5, 0.9])
+    xs = np.asarray(d.ppf(qs))
+    assert xs.shape == (3,)
+    assert (np.diff(xs) > 0).all()
+
+
+def test_pdf_integrates_to_one():
+    d = h2()
+    x = np.linspace(0, float(d.ppf(1 - 1e-7)), 200_001)
+    assert float(np.trapezoid(d.pdf(x), x)) == pytest.approx(1.0, abs=2e-3)
+
+
+def test_usable_as_rocc_workload(rng):
+    """A high-CV network-request distribution plugs straight into the
+    simulator (workload sensitivity beyond Table 2's families)."""
+    from repro.rocc import SimulationConfig, simulate
+    from repro.workload import WorkloadParameters
+
+    wl = WorkloadParameters(app_network=h2())
+    r = simulate(
+        SimulationConfig(nodes=1, duration=1_000_000.0, workload=wl, seed=5)
+    )
+    assert r.app_cycles > 0

@@ -1,0 +1,105 @@
+"""Tests for the characterization pipeline (Tables 1 and 2)."""
+
+import pytest
+
+from repro.workload import (
+    PVMBT,
+    AIXTraceFacility,
+    ProcessType,
+    ResourceKind,
+    TracingConfig,
+    build_parameters,
+    fit_requests,
+    summarize,
+)
+from repro.workload.characterize import OccupancyStats
+
+
+@pytest.fixture(scope="module")
+def trace():
+    cfg = TracingConfig(duration=6_000_000.0, seed=13, trace_main_process=True)
+    return AIXTraceFacility(PVMBT, cfg).trace()
+
+
+class TestOccupancyStats:
+    def test_from_data(self):
+        s = OccupancyStats.from_data([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+
+    def test_empty(self):
+        s = OccupancyStats.from_data([])
+        assert s.count == 0
+        assert s.mean != s.mean  # NaN
+
+
+class TestSummarize:
+    def test_recovers_table1_app_moments(self, trace):
+        summary = summarize(trace)
+        app_cpu = summary.cpu[ProcessType.APPLICATION]
+        assert app_cpu.mean == pytest.approx(2213.0, rel=0.12)
+        assert app_cpu.std == pytest.approx(3034.0, rel=0.25)
+        app_net = summary.network[ProcessType.APPLICATION]
+        assert app_net.mean == pytest.approx(223.0, rel=0.12)
+
+    def test_recovers_table1_daemon_moments(self, trace):
+        summary = summarize(trace)
+        pd_cpu = summary.cpu[ProcessType.PARADYN_DAEMON]
+        assert pd_cpu.mean == pytest.approx(267.0, rel=0.2)
+
+    def test_format_contains_all_types(self, trace):
+        text = summarize(trace).format()
+        for t in ("application", "paradyn_daemon", "pvm_daemon", "other"):
+            assert t in text
+
+
+class TestFitRequests:
+    def test_paper_family_conclusions(self, trace):
+        """Figure 8 / Table 2: app CPU is lognormal, app network is
+        exponential, Pd CPU is exponential."""
+        fits = {
+            (f.process_type, f.resource): f.family for f in fit_requests(trace)
+        }
+        assert fits[(ProcessType.APPLICATION, ResourceKind.CPU)] == "lognormal"
+        assert fits[(ProcessType.APPLICATION, ResourceKind.NETWORK)] == "exponential"
+        assert fits[(ProcessType.PARADYN_DAEMON, ResourceKind.CPU)] == "exponential"
+
+    def test_all_fits_have_candidates(self, trace):
+        for fit in fit_requests(trace):
+            assert len(fit.candidates) == 3
+
+
+class TestBuildParameters:
+    def test_parameters_near_table2(self, trace):
+        params = build_parameters(trace)
+        assert params.app_cpu.mean == pytest.approx(2213.0, rel=0.12)
+        assert params.app_network.mean == pytest.approx(223.0, rel=0.12)
+        assert params.pd_cpu.mean == pytest.approx(267.0, rel=0.2)
+
+    def test_missing_classes_keep_defaults(self):
+        from repro.workload import TraceFile
+
+        params = build_parameters(TraceFile())
+        assert params.app_cpu.mean == 2213.0
+        assert params.pd_network.mean == 71.0
+
+    def test_roundtrip_simulation_matches_measurement(self, trace):
+        """§2.4 validation loop: parameterize the simulator from the trace
+        and check the simulated Pd CPU time against the 'measured' one."""
+        from repro.rocc import SimulationConfig, simulate
+
+        params = build_parameters(trace)
+        duration = 3_000_000.0
+        sim = simulate(
+            SimulationConfig(
+                nodes=1, duration=duration, sampling_period=40_000.0,
+                workload=params, seed=13,
+            )
+        )
+        measured_rate = trace.busy_time(
+            process_type=ProcessType.APPLICATION, resource=ResourceKind.CPU
+        ) / trace.span()
+        sim_rate = sim.app_cpu_time_per_node / duration
+        assert sim_rate == pytest.approx(measured_rate, rel=0.15)

@@ -1,0 +1,69 @@
+"""Tests for trace-playback (Empirical) parameterization."""
+
+import pytest
+
+from repro.variates.distributions import Empirical
+from repro.workload import (
+    PVMBT,
+    AIXTraceFacility,
+    TraceFile,
+    TracingConfig,
+    build_empirical_parameters,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return AIXTraceFacility(
+        PVMBT, TracingConfig(duration=4_000_000.0, seed=19)
+    ).trace()
+
+
+def test_empirical_distributions_built(trace):
+    params = build_empirical_parameters(trace)
+    assert isinstance(params.app_cpu, Empirical)
+    assert isinstance(params.app_network, Empirical)
+    assert isinstance(params.pd_cpu, Empirical)
+
+
+def test_moments_match_trace(trace):
+    import numpy as np
+
+    from repro.workload import ProcessType, ResourceKind
+
+    params = build_empirical_parameters(trace)
+    data = [
+        d
+        for d in trace.durations(
+            process_type=ProcessType.APPLICATION, resource=ResourceKind.CPU
+        )
+        if d > 0
+    ]
+    assert params.app_cpu.mean == pytest.approx(float(np.mean(data)))
+
+
+def test_sparse_pairs_keep_defaults():
+    params = build_empirical_parameters(TraceFile())
+    assert params.app_cpu.mean == 2213.0  # Table 2 default
+    assert not isinstance(params.app_cpu, Empirical)
+
+
+def test_playback_simulation_matches_fitted(trace):
+    """Driving the simulator from the raw trace should land near the
+    fitted-distribution parameterization on the headline metric."""
+    from repro.rocc import SimulationConfig, simulate
+    from repro.workload import build_parameters
+
+    kw = dict(nodes=1, duration=2_000_000.0, sampling_period=20_000.0, seed=19)
+    fitted = simulate(
+        SimulationConfig(workload=build_parameters(trace), **kw)
+    )
+    playback = simulate(
+        SimulationConfig(workload=build_empirical_parameters(trace), **kw)
+    )
+    assert playback.app_cpu_utilization_per_node == pytest.approx(
+        fitted.app_cpu_utilization_per_node, rel=0.1
+    )
+    assert playback.pd_cpu_time_per_node == pytest.approx(
+        fitted.pd_cpu_time_per_node, rel=0.3
+    )

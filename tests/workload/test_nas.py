@@ -1,0 +1,91 @@
+"""Tests for the NAS benchmark profiles and workload parameters."""
+
+import pytest
+
+from repro.workload import (
+    PAPER_PARAMETERS,
+    PVMBT,
+    PVMIS,
+    ProcessType,
+    WorkloadParameters,
+    benchmark_by_name,
+)
+
+
+def test_benchmark_lookup():
+    assert benchmark_by_name("pvmbt") is PVMBT
+    assert benchmark_by_name("pvmis") is PVMIS
+    with pytest.raises(KeyError):
+        benchmark_by_name("pvmep")
+
+
+def test_pvmbt_matches_table1():
+    app = PVMBT.profile(ProcessType.APPLICATION)
+    assert app.cpu.mean == 2213.0
+    assert app.cpu.std == 3034.0
+    assert app.network.mean == 223.0
+    pd = PVMBT.profile(ProcessType.PARADYN_DAEMON)
+    assert pd.cpu.mean == 267.0
+    assert pd.network.mean == 71.0
+
+
+def test_pvmbt_open_processes_have_interarrivals():
+    pvmd = PVMBT.profile(ProcessType.PVM_DAEMON)
+    assert pvmd.cpu_interarrival is not None
+    other = PVMBT.profile(ProcessType.OTHER)
+    assert other.cpu_interarrival.mean == 31_485.0
+    assert other.network_interarrival.mean == 5_598_903.0
+
+
+def test_application_profile_is_closed():
+    app = PVMBT.profile(ProcessType.APPLICATION)
+    assert app.cpu_interarrival is None
+    assert app.network_interarrival is None
+
+
+def test_missing_profile_raises():
+    from repro.workload.nas import BenchmarkProfile
+
+    empty = BenchmarkProfile(name="x", description="", processes={})
+    with pytest.raises(KeyError):
+        empty.profile(ProcessType.APPLICATION)
+
+
+def test_pvmis_stays_cpu_bound():
+    """Section 5 scope: both benchmarks are CPU-intensive SPMD codes."""
+    app = PVMIS.profile(ProcessType.APPLICATION)
+    duty = app.cpu.mean / (app.cpu.mean + app.network.mean)
+    assert duty > 0.85
+
+
+class TestWorkloadParameters:
+    def test_paper_defaults_match_table2(self):
+        p = PAPER_PARAMETERS
+        assert p.app_cpu.mean == 2213.0
+        assert p.app_network.mean == 223.0
+        assert p.pd_cpu.mean == 267.0
+        assert p.pd_network.mean == 71.0
+        assert p.pvmd_cpu.mean == 294.0
+        assert p.pvmd_interarrival.mean == 6485.0
+        assert p.other_cpu.mean == 367.0
+        assert p.other_cpu_interarrival.mean == 31_485.0
+        assert p.other_network_interarrival.mean == 5_598_903.0
+        assert p.cpu_quantum == 10_000.0
+
+    def test_pdm_defaults_to_pd_cpu(self):
+        p = WorkloadParameters()
+        assert p.pdm_cpu is p.pd_cpu
+        assert p.d_pdm_cpu == p.d_pd_cpu
+
+    def test_with_network_demand(self):
+        p = WorkloadParameters().with_network_demand(2000.0)
+        assert p.app_network.mean == 2000.0
+        # Original untouched.
+        assert WorkloadParameters().app_network.mean == 223.0
+
+    def test_demand_properties(self):
+        p = WorkloadParameters()
+        assert p.d_pd_cpu == 267.0
+        assert p.d_pd_network == 71.0
+        assert p.d_app_cpu == 2213.0
+        assert p.d_main_cpu == 3208.0

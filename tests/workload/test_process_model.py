@@ -1,0 +1,124 @@
+"""Tests for the Figure 6 / Figure 7 process state machines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    DETAILED_TRANSITIONS,
+    DetailedState,
+    ProcessStateMachine,
+    SimpleState,
+    legal_sequence,
+    simplify,
+)
+
+S = DetailedState
+
+
+def test_machine_starts_at_admit():
+    m = ProcessStateMachine()
+    assert m.state is S.ADMIT
+    assert not m.terminated
+
+
+def test_legal_lifecycle_walk():
+    m = ProcessStateMachine()
+    walk = [S.READY, S.RUNNING, S.COMMUNICATION, S.RUNNING, S.READY,
+            S.RUNNING, S.BLOCKED, S.READY, S.RUNNING, S.EXIT]
+    for s in walk:
+        m.step(s)
+    assert m.terminated
+
+
+def test_illegal_transition_rejected():
+    m = ProcessStateMachine()
+    with pytest.raises(ValueError, match="illegal transition"):
+        m.step(S.RUNNING)  # must go through READY first
+
+
+def test_exit_is_terminal():
+    m = ProcessStateMachine()
+    m.step(S.READY)
+    m.step(S.RUNNING)
+    m.step(S.EXIT)
+    assert m.allowed() == frozenset()
+    with pytest.raises(ValueError):
+        m.step(S.READY)
+
+
+def test_fork_logs_and_returns_to_running():
+    m = ProcessStateMachine()
+    m.step(S.READY)
+    m.step(S.RUNNING)
+    label = m.step(S.FORK)
+    assert label == "spawn"
+    assert m.step(S.RUNNING) == "log the new process"
+
+
+def test_transition_labels_match_figure6():
+    assert DETAILED_TRANSITIONS[S.RUNNING][S.READY] == "time out"
+    assert DETAILED_TRANSITIONS[S.BLOCKED][S.READY] == "resource available"
+    assert DETAILED_TRANSITIONS[S.COMMUNICATION][S.RUNNING] == "done"
+
+
+def test_simplify_mapping():
+    assert simplify(S.RUNNING) is SimpleState.COMPUTATION
+    assert simplify(S.COMMUNICATION) is SimpleState.COMMUNICATION
+    assert simplify(S.READY) is None
+    assert simplify(S.BLOCKED) is None
+
+
+def test_simple_history_alternates():
+    m = ProcessStateMachine()
+    for s in (S.READY, S.RUNNING, S.COMMUNICATION, S.RUNNING,
+              S.COMMUNICATION, S.RUNNING, S.EXIT):
+        m.step(s)
+    simple = m.simple_history()
+    assert simple == [
+        SimpleState.COMPUTATION,
+        SimpleState.COMMUNICATION,
+        SimpleState.COMPUTATION,
+        SimpleState.COMMUNICATION,
+        SimpleState.COMPUTATION,
+    ]
+    for a, b in zip(simple, simple[1:]):
+        assert a is not b
+
+
+def test_legal_sequence_helper():
+    assert legal_sequence([S.ADMIT, S.READY, S.RUNNING, S.EXIT])
+    assert not legal_sequence([S.READY, S.RUNNING])  # must start at ADMIT
+    assert not legal_sequence([S.ADMIT, S.RUNNING])
+
+
+@given(st.lists(st.sampled_from(list(DetailedState)), max_size=12))
+@settings(max_examples=200)
+def test_legal_sequence_agrees_with_machine(states):
+    """legal_sequence must accept exactly the walks the machine accepts."""
+    expected = True
+    if not states or states[0] is not S.ADMIT:
+        expected = False
+    else:
+        m = ProcessStateMachine()
+        for s in states[1:]:
+            try:
+                m.step(s)
+            except ValueError:
+                expected = False
+                break
+    assert legal_sequence(states) == expected
+
+
+@given(st.data())
+@settings(max_examples=100)
+def test_random_legal_walk_never_raises(data):
+    """Any walk that follows allowed() is accepted and keeps history."""
+    m = ProcessStateMachine()
+    for _ in range(15):
+        allowed = sorted(m.allowed(), key=lambda s: s.value)
+        if not allowed:
+            break
+        nxt = data.draw(st.sampled_from(allowed))
+        m.step(nxt)
+    assert len(m.history) >= 1

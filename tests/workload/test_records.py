@@ -1,0 +1,135 @@
+"""Tests for trace records and trace files."""
+
+import io
+
+import pytest
+
+from repro.workload import ProcessType, ResourceKind, TraceFile, TraceRecord
+
+
+def make_record(t=0.0, node=0, pid=1, ptype=ProcessType.APPLICATION,
+                res=ResourceKind.CPU, dur=10.0):
+    return TraceRecord(t, node, pid, ptype, res, dur)
+
+
+def test_record_end():
+    r = make_record(t=5.0, dur=3.5)
+    assert r.end() == 8.5
+
+
+def test_append_and_len():
+    tf = TraceFile()
+    tf.append(make_record())
+    tf.extend([make_record(t=1), make_record(t=2)])
+    assert len(tf) == 3
+
+
+def test_filter_by_type_and_resource():
+    tf = TraceFile(
+        [
+            make_record(ptype=ProcessType.APPLICATION, res=ResourceKind.CPU),
+            make_record(ptype=ProcessType.APPLICATION, res=ResourceKind.NETWORK),
+            make_record(ptype=ProcessType.PARADYN_DAEMON, res=ResourceKind.CPU),
+        ]
+    )
+    assert len(tf.filter(process_type=ProcessType.APPLICATION)) == 2
+    assert len(tf.filter(resource=ResourceKind.CPU)) == 2
+    assert (
+        len(
+            tf.filter(
+                process_type=ProcessType.APPLICATION, resource=ResourceKind.CPU
+            )
+        )
+        == 1
+    )
+
+
+def test_filter_by_node():
+    tf = TraceFile([make_record(node=0), make_record(node=1)])
+    assert len(tf.filter(node=1)) == 1
+
+
+def test_durations_and_busy_time():
+    tf = TraceFile(
+        [
+            make_record(dur=10.0),
+            make_record(dur=20.0),
+            make_record(ptype=ProcessType.OTHER, dur=100.0),
+        ]
+    )
+    assert tf.durations(process_type=ProcessType.APPLICATION) == [10.0, 20.0]
+    assert tf.busy_time(process_type=ProcessType.APPLICATION) == 30.0
+    assert tf.busy_time() == 130.0
+
+
+def test_cpu_time_by_type():
+    tf = TraceFile(
+        [
+            make_record(dur=10.0, res=ResourceKind.CPU),
+            make_record(dur=99.0, res=ResourceKind.NETWORK),
+            make_record(ptype=ProcessType.OTHER, dur=5.0, res=ResourceKind.CPU),
+        ]
+    )
+    by_type = tf.cpu_time_by_type()
+    assert by_type[ProcessType.APPLICATION] == 10.0
+    assert by_type[ProcessType.OTHER] == 5.0
+
+
+def test_span():
+    tf = TraceFile([make_record(t=10, dur=5), make_record(t=2, dur=1)])
+    assert tf.span() == 13.0
+    assert TraceFile().span() == 0.0
+
+
+def test_sort():
+    tf = TraceFile([make_record(t=5), make_record(t=1)])
+    tf.sort()
+    assert [r.timestamp for r in tf] == [1.0, 5.0]
+
+
+def test_csv_roundtrip():
+    tf = TraceFile(
+        [
+            make_record(t=1.5, node=2, pid=7, dur=3.25),
+            make_record(
+                t=2.0, ptype=ProcessType.PVM_DAEMON, res=ResourceKind.NETWORK
+            ),
+        ]
+    )
+    buf = io.StringIO()
+    tf.to_csv(buf)
+    buf.seek(0)
+    back = TraceFile.from_csv(buf)
+    assert back.records == tf.records
+
+
+def test_csv_roundtrip_file(tmp_path):
+    tf = TraceFile([make_record()])
+    path = tmp_path / "trace.csv"
+    tf.to_csv(path)
+    assert TraceFile.from_csv(path).records == tf.records
+
+
+def test_window_selects_intersecting_records():
+    tf = TraceFile(
+        [
+            make_record(t=0, dur=5),     # ends at 5: outside [10, 20)
+            make_record(t=8, dur=5),     # spans the boundary: inside
+            make_record(t=12, dur=2),    # fully inside
+            make_record(t=19, dur=10),   # starts inside
+            make_record(t=25, dur=1),    # after: outside
+        ]
+    )
+    w = tf.window(10, 20)
+    assert [r.timestamp for r in w] == [8.0, 12.0, 19.0]
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        TraceFile().window(5, 5)
+
+
+def test_csv_bad_header_rejected():
+    buf = io.StringIO("a,b,c\n1,2,3\n")
+    with pytest.raises(ValueError):
+        TraceFile.from_csv(buf)

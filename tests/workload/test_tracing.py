@@ -1,0 +1,123 @@
+"""Tests for the synthetic AIX tracing facility."""
+
+import pytest
+
+from repro.workload import (
+    PVMBT,
+    PVMIS,
+    AIXTraceFacility,
+    ProcessType,
+    ResourceKind,
+    TracingConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    cfg = TracingConfig(duration=3_000_000.0, seed=5, trace_main_process=True)
+    return AIXTraceFacility(PVMBT, cfg).trace()
+
+
+def test_trace_is_time_sorted(trace):
+    stamps = [r.timestamp for r in trace]
+    assert stamps == sorted(stamps)
+
+
+def test_trace_covers_duration(trace):
+    assert trace.span() >= 2_500_000.0
+
+
+def test_all_process_types_present(trace):
+    types = {r.process_type for r in trace}
+    assert ProcessType.APPLICATION in types
+    assert ProcessType.PARADYN_DAEMON in types
+    assert ProcessType.PVM_DAEMON in types
+    assert ProcessType.OTHER in types
+    assert ProcessType.PARADYN_MAIN in types
+
+
+def test_main_process_absent_without_flag():
+    cfg = TracingConfig(duration=500_000.0, seed=5, trace_main_process=False)
+    trace = AIXTraceFacility(PVMBT, cfg).trace()
+    assert not any(r.process_type is ProcessType.PARADYN_MAIN for r in trace)
+
+
+def test_app_alternates_cpu_network(trace):
+    app = [
+        r
+        for r in trace.records
+        if r.process_type is ProcessType.APPLICATION and r.node == 0
+    ]
+    kinds = [r.resource for r in app]
+    for a, b in zip(kinds, kinds[1:]):
+        assert a != b, "application must alternate computation/communication"
+
+
+def test_app_records_within_duration(trace):
+    for r in trace.records:
+        assert 0 <= r.timestamp < 3_000_000.0
+
+
+def test_app_moments_match_profile(trace):
+    import numpy as np
+
+    cpu = trace.durations(
+        process_type=ProcessType.APPLICATION, resource=ResourceKind.CPU
+    )
+    assert np.mean(cpu) == pytest.approx(2213.0, rel=0.15)
+    net = trace.durations(
+        process_type=ProcessType.APPLICATION, resource=ResourceKind.NETWORK
+    )
+    assert np.mean(net) == pytest.approx(223.0, rel=0.15)
+
+
+def test_daemon_samples_once_per_period(trace):
+    pd_cpu = trace.filter(
+        process_type=ProcessType.PARADYN_DAEMON, resource=ResourceKind.CPU
+    )
+    # One collection per 40 ms over 3 s, minus the first period.
+    expected = int(3_000_000 / 40_000) - 1
+    assert abs(len(pd_cpu) - expected) <= 2
+
+
+def test_batch_size_reduces_network_records():
+    cfg1 = TracingConfig(duration=3_000_000.0, seed=5, batch_size=1)
+    cfg8 = TracingConfig(duration=3_000_000.0, seed=5, batch_size=8)
+    net1 = AIXTraceFacility(PVMBT, cfg1).trace().filter(
+        process_type=ProcessType.PARADYN_DAEMON, resource=ResourceKind.NETWORK
+    )
+    net8 = AIXTraceFacility(PVMBT, cfg8).trace().filter(
+        process_type=ProcessType.PARADYN_DAEMON, resource=ResourceKind.NETWORK
+    )
+    assert len(net8) < len(net1)
+    assert len(net8) == pytest.approx(len(net1) / 8, abs=2)
+
+
+def test_multiple_nodes_have_distinct_streams():
+    cfg = TracingConfig(duration=500_000.0, nodes=2, seed=5)
+    trace = AIXTraceFacility(PVMBT, cfg).trace()
+    d0 = trace.durations(process_type=ProcessType.APPLICATION)
+    n0 = trace.filter(node=0).durations(process_type=ProcessType.APPLICATION)
+    n1 = trace.filter(node=1).durations(process_type=ProcessType.APPLICATION)
+    assert len(n0) + len(n1) == len(d0)
+    assert n0 != n1
+
+
+def test_reproducible():
+    cfg = TracingConfig(duration=500_000.0, seed=5)
+    t1 = AIXTraceFacility(PVMBT, cfg).trace()
+    t2 = AIXTraceFacility(PVMBT, cfg).trace()
+    assert t1.records == t2.records
+
+
+def test_pvmis_profile_differs():
+    cfg = TracingConfig(duration=1_000_000.0, seed=5)
+    bt = AIXTraceFacility(PVMBT, cfg).trace()
+    is_ = AIXTraceFacility(PVMIS, cfg).trace()
+    import numpy as np
+
+    bt_cpu = np.mean(bt.durations(process_type=ProcessType.APPLICATION,
+                                  resource=ResourceKind.CPU))
+    is_cpu = np.mean(is_.durations(process_type=ProcessType.APPLICATION,
+                                   resource=ResourceKind.CPU))
+    assert is_cpu < bt_cpu
