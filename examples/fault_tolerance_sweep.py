@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Fault tolerance: CF vs BF under daemon churn and a lossy network.
+
+The paper's CF/BF comparison assumes an ideal instrumentation system —
+no daemon ever dies, no message is ever lost.  This experiment repeats
+the comparison on a deliberately hostile 8-node NOW: daemons crash and
+restart in a round-robin every 1.5 simulated seconds, and the shared
+network drops 40 % of all forwarded messages.  Every daemon runs the
+same recovery policy (a small bounded resend queue with exponential
+backoff — a daemon that must retransmit constantly falls behind).
+
+The qualitative expectation: **BF loses fewer samples than CF** when
+message loss dominates.  Under CF every sample is its own message, so
+the loss process sees ~b× more loss events, saturates the bounded
+resend queue, and drops to overflow — while a BF daemon retries its few
+batch messages comfortably.  The counterweight is crash exposure: a
+crashing BF daemon loses its partially filled batch (up to b samples),
+a CF daemon at most one.  With churn alone CF is therefore the safer
+policy; add a lossy network and the balance flips.  The absolute drop
+counts are deterministic per seed (run twice to check).
+
+Run:
+    python examples/fault_tolerance_sweep.py
+"""
+
+from repro.faults import FaultPlan, NetworkFault, RecoveryPolicy
+from repro.rocc import SimulationConfig, simulate
+
+DURATION = 10_000_000.0  # 10 simulated seconds
+
+
+def hostile_plan() -> FaultPlan:
+    churn = FaultPlan.daemon_churn(
+        nodes=range(8),
+        first_at=1_000_000.0,   # first crash at t = 1 s
+        period=1_500_000.0,     # one crash every 1.5 s
+        downtime=400_000.0,     # each outage lasts 0.4 s
+        until=DURATION,
+    )
+    lossy = NetworkFault(loss_probability=0.4)
+    return FaultPlan(tuple(churn.faults) + (lossy,))
+
+
+def run(batch_size: int):
+    cfg = SimulationConfig(
+        nodes=8,
+        sampling_period=40_000.0,
+        batch_size=batch_size,
+        duration=DURATION,
+        seed=2026,
+        faults=hostile_plan(),
+        recovery=RecoveryPolicy(
+            max_retries=3,
+            backoff_base=80_000.0,
+            backoff_factor=2.0,
+            backoff_jitter=0.5,
+            resend_queue_limit=2,
+        ),
+    )
+    return simulate(cfg)
+
+
+def main() -> None:
+    cf = run(batch_size=1)
+    bf = run(batch_size=32)
+
+    print("Fault tolerance under daemon churn + 40% message loss "
+          "(8-node NOW, T = 40 ms)")
+    print("-" * 66)
+    header = f"{'metric':42s} {'CF':>10s} {'BF':>10s}"
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("samples generated", cf.samples_generated, bf.samples_generated),
+        ("samples delivered", cf.samples_received, bf.samples_received),
+        ("samples dropped", cf.samples_dropped, bf.samples_dropped),
+        ("  ... to message loss",
+         cf.drops_by_reason.get("loss", 0), bf.drops_by_reason.get("loss", 0)),
+        ("  ... to resend-queue overflow",
+         cf.drops_by_reason.get("overflow", 0),
+         bf.drops_by_reason.get("overflow", 0)),
+        ("  ... in daemon crashes",
+         cf.drops_by_reason.get("crash", 0), bf.drops_by_reason.get("crash", 0)),
+        ("messages lost by the network", cf.messages_lost, bf.messages_lost),
+        ("retransmissions", cf.retransmissions, bf.retransmissions),
+        ("daemon crashes", cf.daemon_crashes, bf.daemon_crashes),
+    ]
+    for name, a, b in rows:
+        print(f"{name:42s} {a:10d} {b:10d}")
+    frows = [
+        ("delivery ratio (%)",
+         100 * cf.delivery_ratio, 100 * bf.delivery_ratio),
+        ("total daemon downtime (s)",
+         cf.daemon_downtime_seconds, bf.daemon_downtime_seconds),
+        ("mean recovery latency (ms)",
+         cf.recovery_latency_ms, bf.recovery_latency_ms),
+        ("Pd CPU time per node (s)",
+         cf.pd_cpu_seconds_per_node, bf.pd_cpu_seconds_per_node),
+    ]
+    for name, a, b in frows:
+        print(f"{name:42s} {a:10.2f} {b:10.2f}")
+    print("-" * len(header))
+    if bf.samples_dropped < cf.samples_dropped:
+        print("BF loses fewer samples than CF here: ~32x fewer messages "
+              "means ~32x fewer loss events, so BF's resend queue keeps up "
+              "while CF's overflows.")
+    else:
+        print("Note: on this seed CF kept up with BF — raise the loss rate "
+              "or shrink resend_queue_limit to expose the difference.")
+    print("Counts above are deterministic per seed: rerun to verify.")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,10 @@ Package layout
     The Resource OCCupancy model of the Paradyn instrumentation system:
     NOW / SMP / MPP architectures, CF / BF policies, direct / tree
     forwarding — the paper's primary contribution.
+``repro.faults``
+    Declarative fault injection (daemon crashes, message loss and
+    corruption, pipe stalls, CPU slowdowns) and recovery policies for
+    robustness experiments on the ROCC model.
 ``repro.analytical``
     Section-3 operational analysis, equations (1)–(16), plus exact MVA.
 ``repro.expdesign``
@@ -33,13 +37,14 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import analytical, des, expdesign, rocc, variates, workload  # noqa: F401
+from . import analytical, des, expdesign, faults, rocc, variates, workload  # noqa: F401
 
 __all__ = [
     "des",
     "variates",
     "workload",
     "rocc",
+    "faults",
     "analytical",
     "expdesign",
     "__version__",

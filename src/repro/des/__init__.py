@@ -32,7 +32,13 @@ from .events import (
     Process,
     Timeout,
 )
-from .exceptions import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from .exceptions import (
+    EmptySchedule,
+    Interrupt,
+    SimulationError,
+    SimulationStalled,
+    StopSimulation,
+)
 from .monitor import Tally, TimeWeighted
 from .resources import (
     Preempted,
@@ -61,6 +67,7 @@ __all__ = [
     "SimulationError",
     "StopSimulation",
     "EmptySchedule",
+    "SimulationStalled",
     "Resource",
     "PriorityResource",
     "PreemptiveResource",

@@ -12,8 +12,9 @@ the ROCC model, but the kernel itself is unit-agnostic.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heappop, heappush, nsmallest
 from itertools import count
+from time import monotonic
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from .events import (
@@ -26,7 +27,12 @@ from .events import (
     Process,
     Timeout,
 )
-from .exceptions import EmptySchedule, SimulationError, StopSimulation
+from .exceptions import (
+    EmptySchedule,
+    SimulationError,
+    SimulationStalled,
+    StopSimulation,
+)
 
 __all__ = ["Environment", "Infinity"]
 
@@ -148,7 +154,13 @@ class Environment:
                 raise exc
             raise SimulationError(repr(exc))  # pragma: no cover
 
-    def run(self, until: Any = None) -> Any:
+    def run(
+        self,
+        until: Any = None,
+        *,
+        max_events: Optional[int] = None,
+        max_wall_seconds: Optional[float] = None,
+    ) -> Any:
         """Run the simulation.
 
         ``until`` may be:
@@ -158,7 +170,19 @@ class Environment:
           advanced exactly to it even if no event falls there);
         * an :class:`Event` — run until that event is processed, returning
           its value.
+
+        ``max_events`` and ``max_wall_seconds`` arm a watchdog: if more
+        than ``max_events`` events are processed, or more than
+        ``max_wall_seconds`` of host wall-clock time elapses, before the
+        run finishes, :class:`SimulationStalled` is raised naming the
+        processes blocked at the head of the schedule.  This turns a
+        livelocked model (e.g. a zero-delay event loop) into a
+        diagnosable error instead of a hung experiment harness.
         """
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        if max_wall_seconds is not None and max_wall_seconds <= 0:
+            raise ValueError("max_wall_seconds must be positive")
         if until is not None and not isinstance(until, Event):
             at = float(until)
             if at <= self._now:
@@ -173,8 +197,33 @@ class Environment:
             until.callbacks.append(StopSimulation.callback)
 
         try:
-            while True:
-                self.step()
+            if max_events is None and max_wall_seconds is None:
+                while True:
+                    self.step()
+            else:
+                deadline = (
+                    monotonic() + max_wall_seconds
+                    if max_wall_seconds is not None
+                    else None
+                )
+                steps = 0
+                while True:
+                    self.step()
+                    steps += 1
+                    if max_events is not None and steps >= max_events:
+                        raise self._stalled(
+                            f"exceeded max_events={max_events}", steps
+                        )
+                    # Wall-clock checks are batched so the hot loop pays
+                    # one integer test per event, not a syscall.
+                    if (
+                        deadline is not None
+                        and steps & 0x3FF == 0
+                        and monotonic() >= deadline
+                    ):
+                        raise self._stalled(
+                            f"exceeded max_wall_seconds={max_wall_seconds}", steps
+                        )
         except StopSimulation as exc:
             return exc.args[0]
         except EmptySchedule:
@@ -183,3 +232,25 @@ class Environment:
                     "no scheduled events left but the until event was not triggered"
                 ) from None
         return None
+
+    def _stalled(self, reason: str, steps: int) -> SimulationStalled:
+        """Build a :class:`SimulationStalled` naming blocked processes."""
+        blocked: List[str] = []
+        for _, _, _, event in nsmallest(16, self._queue):
+            if isinstance(event, Process) and event.name not in blocked:
+                blocked.append(event.name)
+            for callback in event.callbacks or ():
+                owner = getattr(callback, "__self__", None)
+                if isinstance(owner, Process) and owner.name not in blocked:
+                    blocked.append(owner.name)
+        message = (
+            f"simulation stalled ({reason}) at t={self._now:g} "
+            f"after {steps} events"
+        )
+        if blocked:
+            message += "; processes at the head of the schedule: " + ", ".join(
+                blocked[:8]
+            )
+        return SimulationStalled(
+            message, now=self._now, events_processed=steps, blocked=blocked
+        )

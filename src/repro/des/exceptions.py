@@ -12,6 +12,7 @@ from __future__ import annotations
 __all__ = [
     "SimulationError",
     "EmptySchedule",
+    "SimulationStalled",
     "StopSimulation",
     "Interrupt",
 ]
@@ -23,6 +24,33 @@ class SimulationError(Exception):
 
 class EmptySchedule(SimulationError):
     """Raised by :meth:`Environment.step` when no more events are queued."""
+
+
+class SimulationStalled(SimulationError):
+    """Raised by the :meth:`Environment.run` watchdog on a runaway run.
+
+    A simulation that livelocks (e.g. two processes ping-ponging
+    zero-delay events) never exhausts its schedule and never reaches
+    ``until``; without a watchdog the host process spins forever.  The
+    exception carries enough context to diagnose the livelock: the
+    simulation time it froze at, the number of events processed, and the
+    names of the processes waiting at the head of the schedule.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        now: float = 0.0,
+        events_processed: int = 0,
+        blocked: "tuple | list" = (),
+    ):
+        super().__init__(message)
+        #: Simulation time at which the watchdog fired.
+        self.now = now
+        #: Events processed by this ``run()`` call before the watchdog fired.
+        self.events_processed = events_processed
+        #: Names of processes waiting on the earliest scheduled events.
+        self.blocked = list(blocked)
 
 
 class StopSimulation(Exception):

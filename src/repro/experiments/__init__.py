@@ -16,7 +16,7 @@ Or from the command line::
 
 from .registry import Experiment, get, list_experiments, run
 from .reporting import ArtifactGroup, SeriesSet, Table
-from .runners import MeanResults, metric_series, replicate, sweep
+from .runners import CellError, MeanResults, metric_series, replicate, sweep
 
 __all__ = [
     "run",
@@ -30,4 +30,5 @@ __all__ = [
     "sweep",
     "metric_series",
     "MeanResults",
+    "CellError",
 ]

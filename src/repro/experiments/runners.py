@@ -10,7 +10,8 @@ relies on).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+import traceback as _traceback
+from dataclasses import dataclass, field, fields
 from statistics import mean
 from typing import Callable, Dict, List, Sequence
 
@@ -19,7 +20,7 @@ from ..rocc.config import SimulationConfig
 from ..rocc.metrics import SimulationResults
 from ..rocc.system import simulate
 
-__all__ = ["MeanResults", "replicate", "metric_series", "sweep"]
+__all__ = ["CellError", "MeanResults", "replicate", "metric_series", "sweep"]
 
 #: SimulationResults fields averaged by :func:`replicate`.
 _NUMERIC_FIELDS = [
@@ -43,7 +44,38 @@ _NUMERIC_FIELDS = [
     "forward_calls_per_node",
     "pipe_blocked_time",
     "barrier_wait_time",
+    "daemon_downtime",
+    "recovery_latency",
 ]
+
+
+@dataclass
+class CellError:
+    """A failed replication, preserved as an artifact of the sweep.
+
+    With ``isolate=True`` a crashing cell no longer aborts the whole
+    experiment: the error (message + formatted traceback) rides along in
+    :attr:`MeanResults.errors` and the sweep completes with whatever
+    replications succeeded.
+    """
+
+    config_summary: str
+    error: str
+    traceback: str
+
+    @classmethod
+    def from_exception(cls, config: SimulationConfig, exc: BaseException) -> "CellError":
+        summary = (
+            f"{config.architecture.value} n={config.nodes} "
+            f"b={config.batch_size} rep={config.replication}"
+        )
+        return cls(
+            config_summary=summary,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
 
 
 @dataclass
@@ -51,16 +83,37 @@ class MeanResults:
     """Replication means of a run, plus the raw per-rep results."""
 
     results: List[SimulationResults]
+    #: Replications that crashed (only populated under ``isolate=True``).
+    errors: List[CellError] = field(default_factory=list)
 
     def __getattr__(self, name: str):
         # Average numeric metrics; fall back to the first repetition for
-        # everything else (config_summary, counters).
+        # everything else (config_summary, counters).  Unknown names must
+        # raise AttributeError — never IndexError or recursion — so that
+        # hasattr(), copy, and pickling behave.
+        if name.startswith("_") or name in ("results", "errors"):
+            # Dunder/protocol probes (__getstate__, __deepcopy__, ...)
+            # and dataclass fields that genuinely are missing must not
+            # be forwarded to the repetition results.
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
         reps = object.__getattribute__(self, "results")
         if name in _NUMERIC_FIELDS:
             vals = [getattr(r, name) for r in reps]
             vals = [v for v in vals if v == v]  # drop NaN
             return mean(vals) if vals else float("nan")
-        return getattr(reps[0], name)
+        if not reps:
+            raise AttributeError(
+                f"{type(self).__name__!r} has no successful repetitions to "
+                f"read {name!r} from (all replications failed?)"
+            )
+        try:
+            return getattr(reps[0], name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            ) from None
 
     def raw(self, name: str) -> List[float]:
         """Per-repetition values of one metric."""
@@ -92,18 +145,31 @@ def replicate(
     config: SimulationConfig,
     repetitions: int = 3,
     aggregated: bool = False,
+    isolate: bool = False,
 ) -> MeanResults:
-    """Run *repetitions* independent replications of *config*."""
+    """Run *repetitions* independent replications of *config*.
+
+    With ``isolate=True`` a crashing replication (including a
+    watchdog-aborted one) is captured as a :class:`CellError` instead of
+    propagating, so long factorial sweeps survive one bad cell.
+    """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
     runner: Callable[[SimulationConfig], SimulationResults] = (
         simulate_aggregated if aggregated else simulate
     )
-    results = [
-        runner(config.with_(replication=config.replication + i))
-        for i in range(repetitions)
-    ]
-    return MeanResults(results)
+    results: List[SimulationResults] = []
+    errors: List[CellError] = []
+    for i in range(repetitions):
+        rep_config = config.with_(replication=config.replication + i)
+        if not isolate:
+            results.append(runner(rep_config))
+            continue
+        try:
+            results.append(runner(rep_config))
+        except Exception as exc:
+            errors.append(CellError.from_exception(rep_config, exc))
+    return MeanResults(results, errors)
 
 
 def sweep(
@@ -112,20 +178,38 @@ def sweep(
     values: Sequence,
     repetitions: int = 3,
     aggregated: bool = False,
+    isolate: bool = False,
     **extra,
 ) -> List[MeanResults]:
-    """Replicate *base* once per value of *parameter*."""
+    """Replicate *base* once per value of *parameter*.
+
+    Under ``isolate=True`` every cell completes (possibly with an empty
+    ``results`` list and the failure recorded in ``errors``), so a sweep
+    always returns one :class:`MeanResults` per requested value.
+    """
     valid = {f.name for f in fields(SimulationConfig)}
     if parameter not in valid:
         raise ValueError(f"unknown config parameter {parameter!r}")
-    return [
-        replicate(
-            base.with_(**{parameter: v}, **extra),
-            repetitions=repetitions,
-            aggregated=aggregated,
+    cells: List[MeanResults] = []
+    for v in values:
+        if isolate:
+            try:
+                cell_config = base.with_(**{parameter: v}, **extra)
+            except Exception as exc:
+                bad = MeanResults([], [CellError.from_exception(base, exc)])
+                cells.append(bad)
+                continue
+        else:
+            cell_config = base.with_(**{parameter: v}, **extra)
+        cells.append(
+            replicate(
+                cell_config,
+                repetitions=repetitions,
+                aggregated=aggregated,
+                isolate=isolate,
+            )
         )
-        for v in values
-    ]
+    return cells
 
 
 def metric_series(

@@ -1,0 +1,153 @@
+"""Turns a :class:`~repro.faults.spec.FaultPlan` into live injections.
+
+The :class:`FaultInjector` is created by
+:class:`~repro.rocc.system.ParadynISSystem` when ``config.faults`` is
+set.  It plays two roles:
+
+* **scheduled injections** — ``arm(system)`` spawns one kernel process
+  per :class:`DaemonCrash` / :class:`PipeStall` / :class:`CpuSlowdown`
+  spec that sleeps until the fault's time and manipulates the target
+  component (``daemon.crash()``/``restart()``, ``pipe.stall()``,
+  ``cpu.set_speed()``);
+* **per-message outcomes** — the interconnect calls
+  :meth:`message_outcome` once per delivered message; the draw comes
+  from a dedicated ``faults/network`` substream of the run's
+  :class:`~repro.variates.streams.StreamFactory`, so fault realizations
+  are exactly reproducible per ``(seed, replication)`` and do not
+  perturb the workload's own streams (common random numbers survive
+  adding faults).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .spec import CpuSlowdown, DaemonCrash, FaultPlan, NetworkFault, PipeStall
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..des.core import Environment
+    from ..variates.streams import StreamFactory
+
+__all__ = ["OUTCOME_OK", "OUTCOME_LOST", "OUTCOME_CORRUPT", "FaultInjector"]
+
+OUTCOME_OK = "ok"
+OUTCOME_LOST = "lost"
+OUTCOME_CORRUPT = "corrupt"
+
+
+class FaultInjector:
+    """Injects the faults of one plan into one simulation run."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        plan: FaultPlan,
+        streams: "StreamFactory",
+        metrics: Optional[object] = None,
+    ):
+        self.env = env
+        self.plan = plan
+        #: Duck-typed :class:`~repro.rocc.metrics.Metrics` sink (optional
+        #: so the injector stays usable outside the ROCC model).
+        self.metrics = metrics
+        self._rng = streams.generator("faults/network")
+        self._network_faults = plan.network_faults
+        #: Injections performed, by spec class name (diagnostics).
+        self.injected = {}
+
+    # ------------------------------------------------------------------
+    # Message-level faults (called by the interconnect)
+    # ------------------------------------------------------------------
+    def message_outcome(self) -> str:
+        """Outcome of one delivered message at the current time."""
+        if not self._network_faults:
+            return OUTCOME_OK
+        now = self.env.now
+        loss = 0.0
+        corrupt = 0.0
+        active = False
+        for f in self._network_faults:
+            if f.start <= now < f.stop:
+                loss += f.loss_probability
+                corrupt += f.corruption_probability
+                active = True
+        if not active:
+            return OUTCOME_OK
+        loss = min(loss, 1.0)
+        corrupt = min(corrupt, 1.0 - loss)
+        u = float(self._rng.random())
+        if u < loss:
+            self._note("NetworkFault")
+            if self.metrics is not None:
+                self.metrics.messages_lost += 1
+            return OUTCOME_LOST
+        if u < loss + corrupt:
+            self._note("NetworkFault")
+            if self.metrics is not None:
+                self.metrics.messages_corrupted += 1
+            return OUTCOME_CORRUPT
+        return OUTCOME_OK
+
+    # ------------------------------------------------------------------
+    # Scheduled faults
+    # ------------------------------------------------------------------
+    def arm(self, system) -> None:
+        """Spawn injection processes against a built ROCC system.
+
+        *system* is duck-typed: it must expose ``daemons``, ``pipes``
+        and ``worker_cpus`` sequences.  Node indices are validated here
+        so a bad plan fails at build time, not mid-run.
+        """
+        env = self.env
+        for k, spec in enumerate(self.plan):
+            if isinstance(spec, DaemonCrash):
+                self._check_index(spec, len(system.daemons), "daemons")
+                env.process(
+                    self._crash_proc(spec, system.daemons[spec.node]),
+                    name=f"faults/crash{k}",
+                )
+            elif isinstance(spec, PipeStall):
+                self._check_index(spec, len(system.pipes), "pipes")
+                env.process(
+                    self._stall_proc(spec, system.pipes[spec.node]),
+                    name=f"faults/stall{k}",
+                )
+            elif isinstance(spec, CpuSlowdown):
+                self._check_index(spec, len(system.worker_cpus), "CPUs")
+                env.process(
+                    self._slowdown_proc(spec, system.worker_cpus[spec.node]),
+                    name=f"faults/slowdown{k}",
+                )
+            # NetworkFault is stateless: handled by message_outcome().
+
+    @staticmethod
+    def _check_index(spec, limit: int, what: str) -> None:
+        if spec.node >= limit:
+            raise ValueError(
+                f"{type(spec).__name__} targets node {spec.node} but the "
+                f"system has only {limit} {what}"
+            )
+
+    def _note(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def _crash_proc(self, spec: DaemonCrash, daemon):
+        yield self.env.timeout(spec.at)
+        daemon.crash(cause=spec)
+        self._note("DaemonCrash")
+        if spec.restart_after is not None:
+            yield self.env.timeout(spec.restart_after)
+            daemon.restart()
+
+    def _stall_proc(self, spec: PipeStall, pipe):
+        yield self.env.timeout(spec.at)
+        pipe.stall(spec.duration)
+        self._note("PipeStall")
+
+    def _slowdown_proc(self, spec: CpuSlowdown, cpu):
+        yield self.env.timeout(spec.at)
+        previous = cpu.speed
+        cpu.set_speed(previous / spec.factor)
+        self._note("CpuSlowdown")
+        yield self.env.timeout(spec.duration)
+        cpu.set_speed(previous)

@@ -1,0 +1,98 @@
+"""Failure-recovery policies for the Paradyn daemon's forwarding path.
+
+A :class:`RecoveryPolicy` on ``SimulationConfig.recovery`` tells every
+daemon how to react when a forwarded batch is lost (failed transfer
+event) or times out:
+
+* **retry** — the batch goes into a bounded in-flight resend queue
+  drained by a dedicated retry process; each attempt waits an
+  exponential backoff with multiplicative jitter before retransmitting.
+* **drop with accounting** — once ``max_retries`` attempts are
+  exhausted, or when the resend queue is full, the batch's samples are
+  dropped and counted per reason (graceful degradation: the simulation
+  keeps running and reports exactly what was lost).
+* **forwarding timeout** — an optional upper bound on how long a daemon
+  waits for one transfer to complete before treating it as lost; this
+  protects the collection loop against a congested FIFO network the
+  same way the watchdog protects the harness against a livelocked run.
+* **reroute** — under binary-tree forwarding, deliveries addressed to a
+  crashed daemon can be rerouted to the nearest live ancestor (or the
+  main process) instead of piling up in a dead daemon's inbox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a daemon handles lost or timed-out forwards."""
+
+    #: Retransmission attempts per batch before dropping it (0 = drop
+    #: immediately with accounting; no retry process is started).
+    max_retries: int = 3
+    #: First backoff delay, µs.
+    backoff_base: float = 1_000.0
+    #: Multiplier applied per additional attempt (exponential backoff).
+    backoff_factor: float = 2.0
+    #: Jitter fraction: each delay is scaled by a uniform factor in
+    #: ``[1 - j, 1 + j]`` drawn from the daemon's own substream.
+    backoff_jitter: float = 0.5
+    #: Give up waiting for one transfer after this long, µs (``None`` =
+    #: wait for the network's own completion/failure notification).
+    forward_timeout: float | None = None
+    #: Maximum batches awaiting retransmission per daemon; overflow is
+    #: dropped with accounting.
+    resend_queue_limit: int = 16
+    #: Tree forwarding only: deliver around crashed ancestors.
+    reroute_around_down_daemons: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0:
+            raise ValueError("backoff_base must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.forward_timeout is not None and self.forward_timeout <= 0:
+            raise ValueError("forward_timeout must be positive or None")
+        if self.resend_queue_limit < 1:
+            raise ValueError("resend_queue_limit must be >= 1")
+
+    def backoff_delay(self, attempt: int, rng) -> float:
+        """Backoff before retransmission *attempt* (1-based), µs.
+
+        *rng* is a ``numpy.random.Generator`` (one per daemon, derived
+        from the run's stream factory) so the jitter is deterministic
+        per seed yet independent across daemons.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if self.backoff_jitter > 0.0:
+            delay *= 1.0 + self.backoff_jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+    # -- presets ---------------------------------------------------------
+    @classmethod
+    def drop_only(cls) -> "RecoveryPolicy":
+        """Graceful degradation without retransmission."""
+        return cls(max_retries=0)
+
+    @classmethod
+    def aggressive(cls) -> "RecoveryPolicy":
+        """Fast retries with a forwarding timeout and rerouting."""
+        return cls(
+            max_retries=5,
+            backoff_base=500.0,
+            backoff_factor=2.0,
+            backoff_jitter=0.5,
+            forward_timeout=250_000.0,
+            resend_queue_limit=64,
+            reroute_around_down_daemons=True,
+        )

@@ -1,0 +1,269 @@
+"""Declarative fault specifications for ROCC simulations.
+
+A fault experiment is described by a :class:`FaultPlan` — an immutable
+collection of :data:`FaultSpec` instances — attached to
+``SimulationConfig.faults``.  Each spec names *what* breaks, *where*
+(node index) and *when* (simulation time, µs); the
+:class:`~repro.faults.injector.FaultInjector` turns the plan into
+scheduled injection processes and per-message outcome draws, all seeded
+from the run's :class:`~repro.variates.streams.StreamFactory` substreams
+so a given ``(seed, replication, plan)`` triple always produces the
+exact same fault realization.
+
+Four fault classes cover the failure modes instrumentation systems on
+real distributed platforms exhibit (cf. the monitoring surveys in
+PAPERS.md):
+
+* :class:`DaemonCrash` — a Paradyn daemon dies at time *t* and (maybe)
+  restarts after a downtime; samples buffered in the daemon are lost,
+  samples in the kernel pipe survive.
+* :class:`NetworkFault` — each forwarded message in a time window is
+  independently lost or corrupted with the given probabilities.
+* :class:`PipeStall` — the application→daemon pipe stops delivering for
+  a window (a wedged kernel buffer); writers keep filling it.
+* :class:`CpuSlowdown` — a node's CPUs run ``factor``× slower for a
+  window (thermal throttling, a co-scheduled job).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+__all__ = [
+    "DaemonCrash",
+    "NetworkFault",
+    "PipeStall",
+    "CpuSlowdown",
+    "FaultSpec",
+    "FaultPlan",
+    "MessageLost",
+]
+
+
+class MessageLost(Exception):
+    """Failure value of a network transfer whose message was dropped.
+
+    The network fails the transfer's completion event with this
+    exception; the sending daemon's recovery policy decides whether to
+    retry (bounded resend queue, exponential backoff) or to drop the
+    batch with accounting.
+    """
+
+    def __init__(self, payload: object = None):
+        super().__init__(payload)
+
+    @property
+    def payload(self) -> object:
+        """The batch (or other payload) that was lost."""
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class DaemonCrash:
+    """Crash the daemon of *node* at time *at*; restart after a downtime.
+
+    ``restart_after is None`` means the daemon never comes back.
+    """
+
+    node: int
+    at: float
+    restart_after: float | None = 500_000.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("DaemonCrash.node must be >= 0")
+        if self.at < 0:
+            raise ValueError("DaemonCrash.at must be >= 0")
+        if self.restart_after is not None and self.restart_after <= 0:
+            raise ValueError("DaemonCrash.restart_after must be positive or None")
+
+
+@dataclass(frozen=True)
+class NetworkFault:
+    """Per-message loss / corruption probabilities over a time window.
+
+    Applies to every *delivered* message (daemon forwards and relays);
+    plain occupancy bursts with no receiver are unaffected.  A lost
+    message never arrives and the sender is notified through the failed
+    transfer event; a corrupted message arrives, is detected at the main
+    process, and is discarded there with accounting (the sender is
+    unaware — the UDP-checksum case).
+    """
+
+    loss_probability: float = 0.0
+    corruption_probability: float = 0.0
+    start: float = 0.0
+    stop: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("NetworkFault.loss_probability must be in [0, 1]")
+        if not 0.0 <= self.corruption_probability <= 1.0:
+            raise ValueError("NetworkFault.corruption_probability must be in [0, 1]")
+        if self.loss_probability + self.corruption_probability > 1.0:
+            raise ValueError(
+                "NetworkFault loss + corruption probabilities must not exceed 1"
+            )
+        if self.start < 0:
+            raise ValueError("NetworkFault.start must be >= 0")
+        if self.stop <= self.start:
+            raise ValueError("NetworkFault.stop must be greater than start")
+
+
+@dataclass(frozen=True)
+class PipeStall:
+    """The pipe feeding *node*'s daemon delivers nothing during a window.
+
+    Writers may keep putting (the buffer fills, then blocks them — the
+    §4.3.3 cascade); the daemon's reads resume when the stall ends.
+    """
+
+    node: int
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("PipeStall.node must be >= 0")
+        if self.at < 0:
+            raise ValueError("PipeStall.at must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("PipeStall.duration must be positive")
+
+
+@dataclass(frozen=True)
+class CpuSlowdown:
+    """Node *node*'s CPUs run ``factor``× slower during a window.
+
+    ``factor`` is the service-time multiplier: 2.0 means every CPU
+    request submitted during the episode takes twice as long.
+    """
+
+    node: int
+    at: float
+    duration: float
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("CpuSlowdown.node must be >= 0")
+        if self.at < 0:
+            raise ValueError("CpuSlowdown.at must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("CpuSlowdown.duration must be positive")
+        if self.factor <= 0:
+            raise ValueError("CpuSlowdown.factor must be positive")
+
+
+#: Any single fault specification.
+FaultSpec = Union[DaemonCrash, NetworkFault, PipeStall, CpuSlowdown]
+
+_SPEC_TYPES = (DaemonCrash, NetworkFault, PipeStall, CpuSlowdown)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated collection of fault specifications."""
+
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        coerced = tuple(self.faults)
+        for spec in coerced:
+            if not isinstance(spec, _SPEC_TYPES):
+                raise TypeError(
+                    f"{spec!r} is not a fault specification "
+                    f"(expected one of {[t.__name__ for t in _SPEC_TYPES]})"
+                )
+        object.__setattr__(self, "faults", coerced)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    @property
+    def crashes(self) -> Tuple[DaemonCrash, ...]:
+        return tuple(f for f in self.faults if isinstance(f, DaemonCrash))
+
+    @property
+    def network_faults(self) -> Tuple[NetworkFault, ...]:
+        return tuple(f for f in self.faults if isinstance(f, NetworkFault))
+
+    @property
+    def pipe_stalls(self) -> Tuple[PipeStall, ...]:
+        return tuple(f for f in self.faults if isinstance(f, PipeStall))
+
+    @property
+    def cpu_slowdowns(self) -> Tuple[CpuSlowdown, ...]:
+        return tuple(f for f in self.faults if isinstance(f, CpuSlowdown))
+
+    def max_node(self) -> int:
+        """Largest node index referenced by any node-scoped fault."""
+        nodes = [f.node for f in self.faults if hasattr(f, "node")]
+        return max(nodes) if nodes else -1
+
+    # -- convenience constructors ---------------------------------------
+    @classmethod
+    def coerce(cls, value: "FaultPlan | FaultSpec | tuple | list") -> "FaultPlan":
+        """Accept a plan, a single spec, or an iterable of specs."""
+        if isinstance(value, FaultPlan):
+            return value
+        if isinstance(value, _SPEC_TYPES):
+            return cls((value,))
+        return cls(tuple(value))
+
+    @classmethod
+    def daemon_churn(
+        cls,
+        nodes: "tuple | list | range",
+        first_at: float,
+        period: float,
+        downtime: float,
+        until: float,
+    ) -> "FaultPlan":
+        """Repeated crash/restart cycles round-robining over *nodes*."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if downtime <= 0 or downtime >= period:
+            raise ValueError("downtime must lie in (0, period)")
+        node_list = list(nodes)
+        if not node_list:
+            raise ValueError("at least one node required")
+        specs = []
+        at = first_at
+        k = 0
+        while at < until:
+            specs.append(
+                DaemonCrash(
+                    node=node_list[k % len(node_list)],
+                    at=at,
+                    restart_after=downtime,
+                )
+            )
+            at += period
+            k += 1
+        return cls(tuple(specs))
+
+    @classmethod
+    def lossy_network(
+        cls,
+        loss_probability: float,
+        corruption_probability: float = 0.0,
+        start: float = 0.0,
+        stop: float = math.inf,
+    ) -> "FaultPlan":
+        """A single network-fault window over the whole run by default."""
+        return cls(
+            (
+                NetworkFault(
+                    loss_probability=loss_probability,
+                    corruption_probability=corruption_probability,
+                    start=start,
+                    stop=stop,
+                ),
+            )
+        )

@@ -36,6 +36,7 @@ from .forwarding import (
     children_indices,
     expected_hops,
     is_leaf,
+    live_ancestor,
     parent_index,
     tree_depth,
 )
@@ -93,4 +94,5 @@ __all__ = [
     "is_leaf",
     "tree_depth",
     "expected_hops",
+    "live_ancestor",
 ]

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional
 
+from ..faults.recovery import RecoveryPolicy
+from ..faults.spec import FaultPlan
 from ..variates.distributions import Distribution, Exponential
 from ..workload.parameters import (
     TYPICAL_SAMPLING_PERIOD_US,
@@ -172,6 +174,14 @@ class SimulationConfig:
     #: ``None`` for the paper's static policies.
     adaptive: Optional[object] = None
 
+    # -- fault injection and recovery (repro.faults) -----------------------
+    #: A :class:`~repro.faults.spec.FaultPlan` (or a single spec / list
+    #: of specs, coerced) of faults to inject; ``None`` = ideal IS.
+    faults: Optional[FaultPlan] = None
+    #: How daemons react to lost / timed-out forwards; ``None`` applies
+    #: :meth:`RecoveryPolicy.drop_only` semantics (no retries).
+    recovery: Optional[RecoveryPolicy] = None
+
     # -- run control --------------------------------------------------------
     #: Simulated duration, µs (paper runs 100 s; sweeps here use less).
     duration: float = 10_000_000.0
@@ -179,6 +189,11 @@ class SimulationConfig:
     warmup: float = 0.0
     seed: int = 0
     replication: int = 0
+    #: Watchdog: abort the run with ``SimulationStalled`` after this many
+    #: kernel events (``None`` = unlimited).
+    max_events: Optional[int] = None
+    #: Watchdog: abort after this much host wall-clock time, seconds.
+    max_wall_seconds: Optional[float] = None
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -190,14 +205,36 @@ class SimulationConfig:
             raise ValueError("sampling_period must be positive")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.batch_flush_timeout is not None and self.batch_flush_timeout <= 0:
+            raise ValueError("batch_flush_timeout must be positive (or None)")
         if self.daemons < 1:
             raise ValueError("daemons must be >= 1")
+        if self.pipe_capacity < 1:
+            raise ValueError("pipe_capacity must be >= 1 sample")
+        if self.central_ingress is not None and self.central_ingress <= 0:
+            raise ValueError(
+                "central_ingress mean service time must be positive (or None)"
+            )
         if self.app_processes_per_node < 1:
             raise ValueError("app_processes_per_node must be >= 1")
+        if self.workload.cpu_quantum <= 0:
+            raise ValueError("workload.cpu_quantum must be positive")
+        if self.daemon_costs.per_sample_batch_cpu < 0:
+            raise ValueError("daemon_costs.per_sample_batch_cpu must be >= 0")
+        if self.daemon_costs.per_sample_network < 0:
+            raise ValueError("daemon_costs.per_sample_network must be >= 0")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if not 0 <= self.warmup < self.duration:
             raise ValueError("warmup must lie in [0, duration)")
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError("max_events must be >= 1 (or None)")
+        if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
+            raise ValueError("max_wall_seconds must be positive (or None)")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            self.faults = FaultPlan.coerce(self.faults)
+        if self.recovery is not None and not isinstance(self.recovery, RecoveryPolicy):
+            raise TypeError("recovery must be a RecoveryPolicy (or None)")
         if (
             self.forwarding is ForwardingTopology.TREE
             and self.architecture is not Architecture.MPP

@@ -75,6 +75,11 @@ class RoundRobinCPU:
         self.n_cpus = int(n_cpus)
         self.quantum = float(quantum)
         self.name = name
+        #: Relative execution speed (1.0 = nominal).  A fault-injected
+        #: slowdown episode lowers it; requests submitted while it is in
+        #: effect are stretched by ``1 / speed``.  Already-queued jobs
+        #: keep their nominal durations (a documented approximation).
+        self.speed = 1.0
         self._ready: Deque[CPUJob] = deque()
         self._idle: Deque[Event] = deque()  # wake events of idle servers
         #: Accumulated busy time per owning process class, µs.
@@ -91,9 +96,15 @@ class RoundRobinCPU:
         if amount <= 0.0:
             done.succeed()
             return done
-        job = CPUJob(float(amount), owner, done, self.env.now)
+        job = CPUJob(float(amount) / self.speed, owner, done, self.env.now)
         self._enqueue(job)
         return done
+
+    def set_speed(self, speed: float) -> None:
+        """Set the relative execution speed (fault-injection hook)."""
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.speed = float(speed)
 
     @property
     def queue_length(self) -> int:

@@ -62,6 +62,13 @@ class MainParadynProcess:
     def _receive(self, batch: Batch) -> None:
         now = self.ctx.env.now
         metrics = self.ctx.metrics
+        if batch.corrupted:
+            # Checksum failure: the message arrived but its payload is
+            # garbage.  Discard with accounting — the sender believes
+            # the forward succeeded, so nobody retransmits.
+            metrics.note_drop(batch.origin, len(batch.samples), "corrupt")
+            self.inbox.put(batch)  # still pays the receive system call
+            return
         metrics.batches_received += 1
         for sample in batch.samples:
             metrics.note_receipt(now, sample.created_at, batch.sent_at)
@@ -71,7 +78,9 @@ class MainParadynProcess:
         cpu = self.ctx.cpu
         while True:
             batch = yield self.inbox.get()
-            n = len(batch.samples)
+            # A corrupted batch is discarded after the receive system
+            # call — no per-sample distribution work.
+            n = 0 if batch.corrupted else len(batch.samples)
             cost = self._receive_cpu()
             if n > 0:
                 # One aggregate draw for the per-sample work: the sum of

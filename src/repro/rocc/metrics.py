@@ -53,6 +53,25 @@ class Metrics:
         #: Barrier waits observed (sum of per-process wait time), µs.
         self.barrier_wait_time = 0.0
         self.barrier_rounds = 0
+        # -- fault / recovery accounting (repro.faults) -------------------
+        #: Samples dropped (never delivered), total and by reason
+        #: ("loss" = retries exhausted, "overflow" = resend queue full,
+        #: "crash" = lost in a crashing daemon, "corrupt" = discarded at
+        #: the receiver).
+        self.samples_dropped = 0
+        self.drops_by_reason: Dict[str, int] = {}
+        #: Batch retransmission attempts performed by daemons.
+        self.retransmissions = 0
+        #: Messages the network lost / corrupted.
+        self.messages_lost = 0
+        self.messages_corrupted = 0
+        #: Forward attempts abandoned by the policy's forwarding timeout.
+        self.forward_timeouts = 0
+        #: Daemon crash count and accumulated downtime, µs.
+        self.daemon_crashes = 0
+        self.daemon_downtime = 0.0
+        #: Crash → first successful forward after restart, µs.
+        self.recovery_latency = Tally("recovery_latency")
 
     def reset(self) -> None:
         """Restart all accumulators (used at the end of warmup)."""
@@ -69,6 +88,13 @@ class Metrics:
         self.samples_received += 1
         self.latency_total.observe(now - created_at)
         self.latency_forwarding.observe(now - ready_at)
+
+    def note_drop(self, node: int, n_samples: int, reason: str) -> None:
+        """Account *n_samples* dropped at *node* for *reason*."""
+        self.samples_dropped += n_samples
+        self.drops_by_reason[reason] = (
+            self.drops_by_reason.get(reason, 0) + n_samples
+        )
 
 
 @dataclass
@@ -125,6 +151,17 @@ class SimulationResults:
     barrier_rounds: int = 0
     app_cycles: int = 0
 
+    # Fault / recovery outcome (zero / NaN when no faults injected).
+    samples_dropped: int = 0
+    drops_by_reason: Dict = field(default_factory=dict)
+    retransmissions: int = 0
+    messages_lost: int = 0
+    messages_corrupted: int = 0
+    forward_timeouts: int = 0
+    daemon_crashes: int = 0
+    daemon_downtime: float = 0.0  # µs, summed over daemons
+    recovery_latency: float = float("nan")  # mean crash → first forward, µs
+
     # Raw per-node CPU busy breakdown (µs), keyed by (node, process type).
     cpu_busy: Dict = field(default_factory=dict, repr=False)
 
@@ -161,3 +198,18 @@ class SimulationResults:
         if self.samples_generated == 0:
             return float("nan")
         return self.samples_received / self.samples_generated
+
+    @property
+    def drop_ratio(self) -> float:
+        """Fraction of generated samples dropped by faults/policy."""
+        if self.samples_generated == 0:
+            return float("nan")
+        return self.samples_dropped / self.samples_generated
+
+    @property
+    def daemon_downtime_seconds(self) -> float:
+        return self.daemon_downtime / 1e6
+
+    @property
+    def recovery_latency_ms(self) -> float:
+        return self.recovery_latency / 1e3

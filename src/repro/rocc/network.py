@@ -12,6 +12,18 @@ Three interconnect models cover the paper's architectures:
 Both support a ``deliver`` callback per transfer so forwarding
 topologies can hand batches to the receiving daemon or the main Paradyn
 process at delivery time.
+
+When a :class:`~repro.faults.injector.FaultInjector` is attached (the
+``injector`` attribute, set by the system builder when
+``config.faults`` is given), every transfer *with a receiver* consults
+it at completion time: a **lost** message is not delivered and the
+transfer's completion event fails with
+:class:`~repro.faults.spec.MessageLost` (the sender's recovery policy
+takes it from there); a **corrupted** message is delivered with its
+``corrupted`` flag set for the receiver to detect and discard.  A
+transfer whose payload was ``cancelled`` by a sender that timed out is
+completed silently without delivery, so retransmissions cannot
+duplicate samples.
 """
 
 from __future__ import annotations
@@ -22,6 +34,8 @@ from typing import Callable, Deque, Dict, Optional, Tuple
 from ..des.core import Environment
 from ..des.events import Event
 from ..des.monitor import TimeWeighted
+from ..faults.injector import OUTCOME_CORRUPT, OUTCOME_LOST
+from ..faults.spec import MessageLost
 from ..workload.records import ProcessType
 
 __all__ = ["BaseNetwork", "FIFONetwork", "ContentionFreeNetwork"]
@@ -41,6 +55,9 @@ class BaseNetwork:
         self.in_flight = TimeWeighted(f"{name}.in_flight", start_time=env.now)
         #: Completed transfer count.
         self.transfers = 0
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; when
+        #: set, delivered messages are subject to loss/corruption.
+        self.injector = None
 
     def transfer(
         self,
@@ -73,6 +90,31 @@ class BaseNetwork:
         self.busy_by_owner[owner] = self.busy_by_owner.get(owner, 0.0) + amount
         self.transfers += 1
 
+    def _complete(
+        self, payload: object, deliver: Optional[DeliverFn], done: Event
+    ) -> None:
+        """Finish one transfer: apply fault outcomes, deliver, resolve.
+
+        The sender that timed out and ``cancelled`` its payload gets a
+        silent success (delivery suppressed); a lost message fails the
+        event so a waiting sender can recover.  A failed event whose
+        sender stopped waiting is defused by the sender's `AnyOf`
+        timeout condition, so late losses never crash the run.
+        """
+        if getattr(payload, "cancelled", False):
+            done.succeed()
+            return
+        if deliver is not None and self.injector is not None:
+            outcome = self.injector.message_outcome()
+            if outcome == OUTCOME_LOST:
+                done.fail(MessageLost(payload))
+                return
+            if outcome == OUTCOME_CORRUPT:
+                payload.corrupted = True
+        if deliver is not None:
+            deliver(payload)
+        done.succeed()
+
 
 class FIFONetwork(BaseNetwork):
     """Single shared server with a FIFO queue (Ethernet / bus)."""
@@ -92,9 +134,7 @@ class FIFONetwork(BaseNetwork):
     ) -> Event:
         done = Event(self.env)
         if amount <= 0.0:
-            if deliver is not None:
-                deliver(payload)
-            done.succeed()
+            self._complete(payload, deliver, done)
             return done
         self._queue.append((float(amount), owner, payload, deliver, done))
         if self._wake is not None and not self._wake.triggered:
@@ -118,9 +158,7 @@ class FIFONetwork(BaseNetwork):
             yield env.timeout(amount)
             self.in_flight.increment(-1, env.now)
             self._account(amount, owner)
-            if deliver is not None:
-                deliver(payload)
-            done.succeed()
+            self._complete(payload, deliver, done)
 
 
 class ContentionFreeNetwork(BaseNetwork):
@@ -141,9 +179,7 @@ class ContentionFreeNetwork(BaseNetwork):
     ) -> Event:
         done = Event(self.env)
         if amount <= 0.0:
-            if deliver is not None:
-                deliver(payload)
-            done.succeed()
+            self._complete(payload, deliver, done)
             return done
         self.env.process(self._one(amount, owner, payload, deliver, done))
         return done
@@ -160,6 +196,4 @@ class ContentionFreeNetwork(BaseNetwork):
         yield self.env.timeout(amount)
         self.in_flight.increment(-1, self.env.now)
         self._account(amount, owner)
-        if deliver is not None:
-            deliver(payload)
-        done.succeed()
+        self._complete(payload, deliver, done)

@@ -27,13 +27,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..des.core import Environment
+from ..faults.injector import FaultInjector
 from ..variates.streams import StreamFactory
 from ..workload.records import ProcessType
 from .application import ApplicationProcess
 from .config import Architecture, ForwardingTopology, NetworkMode, SimulationConfig
 from .cpu import RoundRobinCPU
 from .daemon import ParadynDaemon
-from .forwarding import parent_index
+from .forwarding import live_ancestor, parent_index
 from .main_process import MainParadynProcess
 from .metrics import Metrics, SimulationResults
 from .network import BaseNetwork, ContentionFreeNetwork, FIFONetwork
@@ -82,12 +83,21 @@ class ParadynISSystem:
         self.main: Optional[MainParadynProcess] = None
         #: Overhead regulators, one per node, when config.adaptive is set.
         self.regulators: List = []
+        #: Fault injector, when config.faults is set.
+        self.injector: Optional[FaultInjector] = None
         self._snapshot = _Snapshot()
 
         if config.architecture is Architecture.SMP:
             self._build_smp()
         else:
             self._build_now_or_mpp()
+
+        if config.faults is not None and len(config.faults) > 0:
+            self.injector = FaultInjector(
+                self.env, config.faults, self.streams, metrics=self.metrics
+            )
+            self.network.injector = self.injector
+            self.injector.arm(self)
 
         if config.warmup > 0:
             self.env.process(self._warmup_reset(), name="warmup-reset")
@@ -141,7 +151,13 @@ class ParadynISSystem:
             if tree and i > 0:
                 parent = self.daemons[parent_index(i)]
                 parent.enable_tree_inbox()
-                deliver = parent.deliver
+                if (
+                    cfg.recovery is not None
+                    and cfg.recovery.reroute_around_down_daemons
+                ):
+                    deliver = self._tree_deliver(i)
+                else:
+                    deliver = parent.deliver
             else:
                 deliver = self.main.deliver
             daemon = ParadynDaemon(ctx, pipe, deliver)
@@ -199,6 +215,24 @@ class ParadynISSystem:
         if cfg.include_other:
             OtherProcesses(ctx)
 
+    def _tree_deliver(self, child: int):
+        """Reroute recovery: a tree child's batches land at the nearest
+        *live* ancestor's inbox (decided at delivery time), or at the
+        main process when the whole heap path is down.
+
+        Every ancestor of a node is an interior node, so its inbox is
+        guaranteed to exist once construction finishes.
+        """
+
+        def deliver(batch):
+            target = live_ancestor(child, lambda j: self.daemons[j].down)
+            if target < 0:
+                self.main.deliver(batch)
+            else:
+                self.daemons[target].deliver(batch)
+
+        return deliver
+
     def _attach_regulator(self, ctx: NodeContext, daemon: ParadynDaemon):
         """Create the adaptive sampler + regulator for a node, if enabled.
 
@@ -241,7 +275,11 @@ class ParadynISSystem:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResults:
         cfg = self.config
-        self.env.run(until=cfg.duration)
+        self.env.run(
+            until=cfg.duration,
+            max_events=cfg.max_events,
+            max_wall_seconds=cfg.max_wall_seconds,
+        )
         return self._results()
 
     def _busy(self, cpu_index: int, owner: ProcessType) -> float:
@@ -307,6 +345,13 @@ class ParadynISSystem:
             sum(p.blocked_puts for p in self.pipes) - self._snapshot.pipe_blocked_puts
         )
 
+        # Downtime of daemons that are still down at the end of the run.
+        daemon_downtime = m.daemon_downtime + sum(
+            self.env.now - d._down_since
+            for d in self.daemons
+            if d.down and d._down_since is not None
+        )
+
         return SimulationResults(
             config_summary=(
                 f"{cfg.architecture.value} n={n} T={cfg.sampling_period / 1e3:g}ms "
@@ -348,6 +393,15 @@ class ParadynISSystem:
             barrier_wait_time=m.barrier_wait_time,
             barrier_rounds=m.barrier_rounds,
             app_cycles=m.app_cycles,
+            samples_dropped=m.samples_dropped,
+            drops_by_reason=dict(m.drops_by_reason),
+            retransmissions=m.retransmissions,
+            messages_lost=m.messages_lost,
+            messages_corrupted=m.messages_corrupted,
+            forward_timeouts=m.forward_timeouts,
+            daemon_crashes=m.daemon_crashes,
+            daemon_downtime=daemon_downtime,
+            recovery_latency=m.recovery_latency.mean,
             cpu_busy=cpu_busy_raw,
         )
 

@@ -1,0 +1,76 @@
+"""Tests for the Environment.run watchdog (SimulationStalled)."""
+
+import pytest
+
+from repro.des import Environment, SimulationStalled
+
+
+def _spinner(env):
+    while True:
+        yield env.timeout(0)
+
+
+def test_max_events_raises_and_names_blocked_process():
+    env = Environment()
+    env.process(_spinner(env), name="spinner")
+    with pytest.raises(SimulationStalled) as excinfo:
+        env.run(until=10.0, max_events=1000)
+    exc = excinfo.value
+    assert "spinner" in exc.blocked
+    assert "spinner" in str(exc)
+    assert exc.events_processed == 1000
+    assert exc.now == 0.0  # zero-delay loop never advances the clock
+
+
+def test_max_events_is_not_triggered_by_healthy_run():
+    env = Environment()
+
+    def worker(env):
+        for _ in range(5):
+            yield env.timeout(1.0)
+
+    env.process(worker(env), name="worker")
+    env.run(until=10.0, max_events=100_000)
+    assert env.now == 10.0
+
+
+def test_max_wall_seconds_aborts_livelock():
+    env = Environment()
+    env.process(_spinner(env), name="hog")
+    with pytest.raises(SimulationStalled) as excinfo:
+        env.run(until=10.0, max_wall_seconds=0.05)
+    assert excinfo.value.events_processed > 0
+    assert "max_wall_seconds" in str(excinfo.value)
+
+
+def test_watchdog_parameter_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.run(until=1.0, max_events=0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0, max_wall_seconds=0.0)
+
+
+def test_watchdog_off_by_default():
+    env = Environment()
+    env.process((env.timeout(1.0) for _ in range(1)), name="one")
+    env.run(until=5.0)
+    assert env.now == 5.0
+
+
+def test_stalled_through_simulation_config():
+    """SimulationConfig.max_events flows through to the kernel watchdog."""
+    from repro.rocc import SimulationConfig, simulate
+
+    cfg = SimulationConfig(
+        nodes=1,
+        duration=1_000_000.0,
+        include_pvmd=False,
+        include_other=False,
+        max_events=50,
+    )
+    with pytest.raises(SimulationStalled):
+        simulate(cfg)
+    # A sane budget completes fine.
+    ok = simulate(cfg.with_(max_events=5_000_000))
+    assert ok.samples_received > 0

@@ -1,0 +1,71 @@
+"""Tests for per-cell fault isolation in replicate / sweep."""
+
+import pytest
+
+from repro.des import SimulationStalled
+from repro.experiments import CellError, MeanResults, replicate, sweep
+from repro.rocc import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimulationConfig(
+        nodes=1,
+        duration=400_000.0,
+        sampling_period=20_000.0,
+        include_pvmd=False,
+        include_other=False,
+        seed=5,
+    )
+
+
+def test_isolated_replicate_captures_watchdog_abort(cfg):
+    bad = cfg.with_(max_events=10)  # every rep hits the watchdog
+    res = replicate(bad, repetitions=2, isolate=True)
+    assert res.results == []
+    assert len(res.errors) == 2
+    assert all(isinstance(e, CellError) for e in res.errors)
+    assert "SimulationStalled" in res.errors[0].error
+    assert "SimulationStalled" in res.errors[0].traceback
+
+
+def test_unisolated_replicate_propagates(cfg):
+    with pytest.raises(SimulationStalled):
+        replicate(cfg.with_(max_events=10), repetitions=2)
+
+
+def test_sweep_completes_with_partial_results(cfg):
+    # 10 events stalls; 10 million completes.
+    runs = sweep(
+        cfg, "max_events", [10, 10_000_000], repetitions=1, isolate=True
+    )
+    assert len(runs) == 2
+    assert runs[0].results == [] and len(runs[0].errors) == 1
+    assert len(runs[1].results) == 1 and runs[1].errors == []
+    assert runs[1].samples_received > 0
+
+
+def test_sweep_survives_invalid_cell_value(cfg):
+    runs = sweep(cfg, "batch_size", [0, 4], repetitions=1, isolate=True)
+    assert len(runs) == 2
+    assert runs[0].results == [] and "ValueError" in runs[0].errors[0].error
+    assert len(runs[1].results) == 1
+
+
+def test_cell_error_identifies_replication(cfg):
+    res = replicate(cfg.with_(max_events=10), repetitions=3, isolate=True)
+    assert [e.config_summary for e in res.errors] == [
+        "now n=1 b=1 rep=0",
+        "now n=1 b=1 rep=1",
+        "now n=1 b=1 rep=2",
+    ]
+
+
+def test_empty_mean_results_behavior():
+    empty = MeanResults([])
+    # Numeric metrics degrade to NaN (mean over nothing).
+    assert empty.pd_cpu_time_per_node != empty.pd_cpu_time_per_node
+    # Non-numeric attributes raise AttributeError, so hasattr is False.
+    assert not hasattr(empty, "config_summary")
+    with pytest.raises(AttributeError):
+        empty.config_summary

@@ -76,6 +76,33 @@ def test_sweep_aggregated_mode(cfg):
     assert runs[0].pd_cpu_time_per_node > runs[1].pd_cpu_time_per_node
 
 
+def test_mean_results_unknown_attribute_raises_attribute_error(cfg):
+    res = replicate(cfg, repetitions=1)
+    with pytest.raises(AttributeError):
+        res.no_such_metric
+    assert not hasattr(res, "no_such_metric")  # must not raise IndexError
+
+
+def test_mean_results_dunder_probes_do_not_recurse(cfg):
+    import copy
+    import pickle
+
+    res = replicate(cfg, repetitions=1)
+    # copy/pickle probe dunders like __deepcopy__/__getstate__ through
+    # getattr; a broken __getattr__ would recurse or raise IndexError.
+    clone = copy.deepcopy(res)
+    assert clone.nodes == res.nodes
+    restored = pickle.loads(pickle.dumps(res))
+    assert restored.nodes == res.nodes
+
+
+def test_mean_results_averages_fault_metrics(cfg):
+    res = replicate(cfg, repetitions=2)
+    # New numeric fields are averaged (zero / NaN without faults).
+    assert res.daemon_downtime == 0.0
+    assert res.recovery_latency != res.recovery_latency  # NaN
+
+
 def test_common_random_numbers_across_levels(cfg):
     """Two sweeps differing only in policy share replication streams, so
     the app workload realization is identical (CRN variance reduction)."""

@@ -1,0 +1,270 @@
+"""Integration tests: fault injection against the full ROCC model."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    CpuSlowdown,
+    DaemonCrash,
+    FaultPlan,
+    NetworkFault,
+    PipeStall,
+    RecoveryPolicy,
+)
+from repro.rocc import (
+    Architecture,
+    ForwardingTopology,
+    ParadynISSystem,
+    SimulationConfig,
+    simulate,
+    simulate_aggregated,
+)
+
+
+def _cfg(**kw):
+    base = dict(
+        nodes=2,
+        duration=3_000_000.0,
+        sampling_period=20_000.0,
+        include_pvmd=False,
+        include_other=False,
+        seed=11,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Determinism (acceptance criterion)
+# ----------------------------------------------------------------------
+def test_fault_runs_are_deterministic():
+    plan = FaultPlan(
+        (
+            DaemonCrash(node=0, at=800_000.0, restart_after=300_000.0),
+            NetworkFault(loss_probability=0.1),
+        )
+    )
+    cfg = _cfg(faults=plan, recovery=RecoveryPolicy(max_retries=2))
+    a, b = simulate(cfg), simulate(cfg)
+    assert a.samples_dropped == b.samples_dropped
+    assert a.drops_by_reason == b.drops_by_reason
+    assert a.retransmissions == b.retransmissions
+    assert a.messages_lost == b.messages_lost
+    assert a.samples_received == b.samples_received
+    assert a.daemon_downtime == b.daemon_downtime
+
+
+def test_fault_streams_do_not_perturb_workload():
+    """Adding faults must not change the generated workload (common
+    random numbers: faults draw from dedicated substreams)."""
+    clean = simulate(_cfg())
+    faulty = simulate(_cfg(faults=FaultPlan.lossy_network(0.05)))
+    assert clean.samples_generated == faulty.samples_generated
+
+
+# ----------------------------------------------------------------------
+# Daemon crash / restart
+# ----------------------------------------------------------------------
+def test_crash_restart_metrics():
+    plan = FaultPlan((DaemonCrash(node=0, at=1_000_000.0, restart_after=400_000.0),))
+    res = simulate(_cfg(faults=plan, recovery=RecoveryPolicy()))
+    assert res.daemon_crashes == 1
+    assert res.daemon_downtime == pytest.approx(400_000.0)
+    # Crash → first successful forward after restart happened, so the
+    # recovery latency is finite and at least the downtime.
+    assert not math.isnan(res.recovery_latency)
+    assert res.recovery_latency >= 400_000.0
+    # Something was lost in the crash, and it is accounted.
+    assert res.drops_by_reason.get("crash", 0) >= 0
+    assert res.samples_received + res.samples_dropped <= res.samples_generated
+
+
+def test_permanent_crash_counts_downtime_to_end():
+    plan = FaultPlan((DaemonCrash(node=0, at=1_000_000.0, restart_after=None),))
+    system = ParadynISSystem(_cfg(faults=plan))
+    res = system.run()
+    assert system.daemons[0].down
+    assert res.daemon_downtime == pytest.approx(2_000_000.0)
+    assert math.isnan(res.recovery_latency)
+    # The surviving node keeps delivering.
+    assert res.samples_received > 0
+
+
+def test_samples_in_pipe_survive_crash():
+    """The kernel pipe outlives the daemon process: samples written
+    during the outage are delivered after the restart."""
+    plan = FaultPlan((DaemonCrash(node=0, at=1_000_000.0, restart_after=500_000.0),))
+    res = simulate(_cfg(nodes=1, faults=plan, recovery=RecoveryPolicy()))
+    # Sampling continues at 20 ms throughout; if pipe contents died with
+    # the daemon the delivered count would be ~25 short.
+    lost = res.samples_generated - res.samples_received
+    assert lost <= 8  # crash loses at most the in-flight batch + tail
+
+
+def test_crash_validation_against_system_size():
+    plan = FaultPlan((DaemonCrash(node=9, at=1.0),))
+    with pytest.raises(ValueError):
+        ParadynISSystem(_cfg(faults=plan))
+
+
+# ----------------------------------------------------------------------
+# Network loss and recovery policies
+# ----------------------------------------------------------------------
+def test_drop_only_policy_accounts_losses():
+    cfg = _cfg(
+        faults=FaultPlan.lossy_network(0.15),
+        recovery=RecoveryPolicy.drop_only(),
+        seed=3,
+    )
+    res = simulate(cfg)
+    assert res.messages_lost > 0
+    assert res.retransmissions == 0
+    assert res.drops_by_reason.get("loss", 0) == res.samples_dropped
+    assert res.samples_dropped > 0
+    assert res.samples_received + res.samples_dropped <= res.samples_generated
+
+
+def test_retries_recover_lost_messages():
+    lossy = FaultPlan.lossy_network(0.15)
+    dropped = simulate(
+        _cfg(faults=lossy, recovery=RecoveryPolicy.drop_only(), seed=3)
+    )
+    retried = simulate(
+        _cfg(faults=lossy, recovery=RecoveryPolicy(max_retries=4), seed=3)
+    )
+    assert retried.retransmissions > 0
+    assert retried.samples_received > dropped.samples_received
+    assert retried.samples_dropped < dropped.samples_dropped
+
+
+def test_no_policy_defaults_to_drop_with_accounting():
+    res = simulate(_cfg(faults=FaultPlan.lossy_network(0.2), seed=5))
+    assert res.messages_lost > 0
+    assert res.retransmissions == 0
+    assert res.drops_by_reason.get("loss", 0) > 0
+
+
+def test_corruption_is_discarded_at_receiver():
+    cfg = _cfg(
+        faults=FaultPlan.lossy_network(0.0, corruption_probability=0.2),
+        seed=9,
+    )
+    res = simulate(cfg)
+    assert res.messages_corrupted > 0
+    assert res.drops_by_reason.get("corrupt", 0) > 0
+    # Corrupted samples never count as received.
+    assert res.samples_received + res.samples_dropped <= res.samples_generated
+
+
+def test_forward_timeout_fires_and_is_counted():
+    policy = RecoveryPolicy(max_retries=1, forward_timeout=1.0, backoff_base=100.0)
+    res = simulate(_cfg(faults=FaultPlan.lossy_network(0.0), recovery=policy))
+    # A 1 µs budget is shorter than any transfer: every send times out.
+    assert res.forward_timeouts > 0
+    assert res.drops_by_reason.get("loss", 0) > 0
+
+
+def test_resend_queue_overflow_drops():
+    # Everything is lost and retried slowly: the bounded queue overflows.
+    policy = RecoveryPolicy(
+        max_retries=10, backoff_base=500_000.0, resend_queue_limit=1
+    )
+    res = simulate(_cfg(faults=FaultPlan.lossy_network(0.9), recovery=policy, seed=2))
+    assert res.drops_by_reason.get("overflow", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Pipe stall and CPU slowdown
+# ----------------------------------------------------------------------
+def test_pipe_stall_delays_but_preserves_samples():
+    plan = FaultPlan((PipeStall(node=0, at=1_000_000.0, duration=500_000.0),))
+    system = ParadynISSystem(_cfg(nodes=1, faults=plan))
+    res = system.run()
+    pipe = system.pipes[0]
+    assert pipe.stalls == 1
+    assert pipe.stalled_time == pytest.approx(500_000.0)
+    # Stalls delay, they do not drop.
+    assert res.samples_dropped == 0
+    assert res.samples_received >= res.samples_generated - 5
+
+
+def test_cpu_slowdown_applies_and_restores():
+    plan = FaultPlan(
+        (CpuSlowdown(node=0, at=500_000.0, duration=1_000_000.0, factor=4.0),)
+    )
+    system = ParadynISSystem(_cfg(nodes=1, faults=plan))
+    res = system.run()
+    assert system.worker_cpus[0].speed == pytest.approx(1.0)  # restored
+    assert system.injector.injected.get("CpuSlowdown") == 1
+    slow_busy = res.app_cpu_time_per_node
+    baseline = simulate(_cfg(nodes=1)).app_cpu_time_per_node
+    assert slow_busy > baseline  # stretched service times show up
+
+
+# ----------------------------------------------------------------------
+# Tree forwarding reroute
+# ----------------------------------------------------------------------
+def _tree_cfg(**kw):
+    return _cfg(
+        architecture=Architecture.MPP,
+        forwarding=ForwardingTopology.TREE,
+        nodes=7,
+        **kw,
+    )
+
+
+def test_reroute_around_crashed_interior_daemon():
+    # Node 1 relays nodes 3 and 4; kill it permanently.
+    plan = FaultPlan((DaemonCrash(node=1, at=500_000.0, restart_after=None),))
+    stuck = simulate(_tree_cfg(faults=plan, recovery=RecoveryPolicy()))
+    rerouted = simulate(
+        _tree_cfg(
+            faults=plan,
+            recovery=RecoveryPolicy(reroute_around_down_daemons=True),
+        )
+    )
+    # Without rerouting the subtree's batches pile up in the dead inbox.
+    assert rerouted.samples_received > stuck.samples_received
+
+
+def test_reroute_falls_back_to_main_when_path_dead():
+    # Kill node 2 (parent of 5, 6) and the root daemon 0: node 5's
+    # only live destination is the main process itself.
+    plan = FaultPlan(
+        (
+            DaemonCrash(node=0, at=400_000.0, restart_after=None),
+            DaemonCrash(node=2, at=400_000.0, restart_after=None),
+        )
+    )
+    res = simulate(
+        _tree_cfg(
+            faults=plan,
+            recovery=RecoveryPolicy(reroute_around_down_daemons=True),
+        )
+    )
+    assert res.samples_received > 0
+
+
+# ----------------------------------------------------------------------
+# Guards
+# ----------------------------------------------------------------------
+def test_aggregated_mode_rejects_faults():
+    cfg = _cfg(
+        architecture=Architecture.MPP,
+        faults=FaultPlan.lossy_network(0.1),
+    )
+    with pytest.raises(ValueError, match="full simulation"):
+        simulate_aggregated(cfg)
+
+
+def test_config_coerces_fault_specs():
+    cfg = _cfg(faults=DaemonCrash(node=0, at=1.0))
+    assert isinstance(cfg.faults, FaultPlan)
+    cfg2 = _cfg(faults=[DaemonCrash(node=0, at=1.0)])
+    assert len(cfg2.faults) == 1
+
+
+def test_config_rejects_bad_recovery():
+    with pytest.raises(TypeError):
+        _cfg(recovery="retry please")

@@ -1,0 +1,191 @@
+"""Validation tests for fault specifications, plans, and policies."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    CpuSlowdown,
+    DaemonCrash,
+    FaultPlan,
+    MessageLost,
+    NetworkFault,
+    PipeStall,
+    RecoveryPolicy,
+)
+
+
+# ----------------------------------------------------------------------
+# Individual specs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"node": -1, "at": 0.0},
+        {"node": 0, "at": -1.0},
+        {"node": 0, "at": 0.0, "restart_after": 0.0},
+        {"node": 0, "at": 0.0, "restart_after": -5.0},
+    ],
+)
+def test_daemon_crash_rejects(kw):
+    with pytest.raises(ValueError):
+        DaemonCrash(**kw)
+
+
+def test_daemon_crash_permanent():
+    spec = DaemonCrash(node=0, at=1.0, restart_after=None)
+    assert spec.restart_after is None
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"loss_probability": -0.1},
+        {"loss_probability": 1.1},
+        {"corruption_probability": 2.0},
+        {"loss_probability": 0.6, "corruption_probability": 0.6},
+        {"start": -1.0},
+        {"start": 5.0, "stop": 5.0},
+        {"start": 5.0, "stop": 1.0},
+    ],
+)
+def test_network_fault_rejects(kw):
+    with pytest.raises(ValueError):
+        NetworkFault(**kw)
+
+
+def test_network_fault_defaults_whole_run():
+    f = NetworkFault(loss_probability=0.1)
+    assert f.start == 0.0 and f.stop == math.inf
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"node": -1, "at": 0.0, "duration": 1.0},
+        {"node": 0, "at": -1.0, "duration": 1.0},
+        {"node": 0, "at": 0.0, "duration": 0.0},
+    ],
+)
+def test_pipe_stall_rejects(kw):
+    with pytest.raises(ValueError):
+        PipeStall(**kw)
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"node": 0, "at": 0.0, "duration": 0.0},
+        {"node": 0, "at": 0.0, "duration": 1.0, "factor": 0.0},
+        {"node": -2, "at": 0.0, "duration": 1.0},
+    ],
+)
+def test_cpu_slowdown_rejects(kw):
+    with pytest.raises(ValueError):
+        CpuSlowdown(**kw)
+
+
+def test_message_lost_carries_payload():
+    exc = MessageLost("the batch")
+    assert exc.payload == "the batch"
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+def test_plan_rejects_non_specs():
+    with pytest.raises(TypeError):
+        FaultPlan(("not a fault",))
+
+
+def test_plan_coerce_forms():
+    single = DaemonCrash(node=0, at=1.0)
+    assert len(FaultPlan.coerce(single)) == 1
+    assert len(FaultPlan.coerce([single, NetworkFault(loss_probability=0.1)])) == 2
+    plan = FaultPlan((single,))
+    assert FaultPlan.coerce(plan) is plan
+
+
+def test_plan_partitions_by_kind():
+    plan = FaultPlan(
+        (
+            DaemonCrash(node=1, at=5.0),
+            NetworkFault(loss_probability=0.2),
+            PipeStall(node=0, at=1.0, duration=2.0),
+            CpuSlowdown(node=2, at=1.0, duration=2.0),
+        )
+    )
+    assert len(plan.crashes) == 1
+    assert len(plan.network_faults) == 1
+    assert len(plan.pipe_stalls) == 1
+    assert len(plan.cpu_slowdowns) == 1
+    assert plan.max_node() == 2
+
+
+def test_daemon_churn_round_robins():
+    plan = FaultPlan.daemon_churn(
+        nodes=[0, 1], first_at=100.0, period=1000.0, downtime=200.0, until=3500.0
+    )
+    crashes = plan.crashes
+    assert [c.node for c in crashes] == [0, 1, 0, 1]
+    assert [c.at for c in crashes] == [100.0, 1100.0, 2100.0, 3100.0]
+    assert all(c.restart_after == 200.0 for c in crashes)
+
+
+def test_daemon_churn_validates():
+    with pytest.raises(ValueError):
+        FaultPlan.daemon_churn(nodes=[0], first_at=0, period=100, downtime=100, until=500)
+    with pytest.raises(ValueError):
+        FaultPlan.daemon_churn(nodes=[], first_at=0, period=100, downtime=10, until=500)
+
+
+def test_lossy_network_helper():
+    plan = FaultPlan.lossy_network(0.05, corruption_probability=0.01)
+    (f,) = plan.network_faults
+    assert f.loss_probability == 0.05 and f.corruption_probability == 0.01
+
+
+# ----------------------------------------------------------------------
+# RecoveryPolicy
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"max_retries": -1},
+        {"backoff_base": 0.0},
+        {"backoff_factor": 0.5},
+        {"backoff_jitter": 1.0},
+        {"backoff_jitter": -0.1},
+        {"forward_timeout": 0.0},
+        {"resend_queue_limit": 0},
+    ],
+)
+def test_policy_rejects(kw):
+    with pytest.raises(ValueError):
+        RecoveryPolicy(**kw)
+
+
+def test_backoff_is_exponential_without_jitter():
+    policy = RecoveryPolicy(backoff_base=100.0, backoff_factor=3.0, backoff_jitter=0.0)
+    assert policy.backoff_delay(1, None) == 100.0
+    assert policy.backoff_delay(2, None) == 300.0
+    assert policy.backoff_delay(3, None) == 900.0
+    with pytest.raises(ValueError):
+        policy.backoff_delay(0, None)
+
+
+def test_backoff_jitter_stays_in_band():
+    import numpy as np
+
+    policy = RecoveryPolicy(backoff_base=100.0, backoff_factor=1.0, backoff_jitter=0.5)
+    rng = np.random.default_rng(0)
+    delays = [policy.backoff_delay(1, rng) for _ in range(200)]
+    assert all(50.0 <= d <= 150.0 for d in delays)
+    assert max(delays) > 110.0 and min(delays) < 90.0  # jitter actually applied
+
+
+def test_policy_presets():
+    assert RecoveryPolicy.drop_only().max_retries == 0
+    aggressive = RecoveryPolicy.aggressive()
+    assert aggressive.forward_timeout is not None
+    assert aggressive.reroute_around_down_daemons

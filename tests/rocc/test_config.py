@@ -32,16 +32,43 @@ def test_policy_flags():
         {"cpus_per_node": 0},
         {"sampling_period": 0},
         {"batch_size": 0},
+        {"batch_flush_timeout": 0.0},
+        {"batch_flush_timeout": -1.0},
         {"daemons": 0},
+        {"pipe_capacity": 0},
+        {"central_ingress": 0.0},
+        {"central_ingress": -5.0},
         {"app_processes_per_node": 0},
         {"duration": 0},
         {"warmup": -1},
         {"warmup": 2e6, "duration": 1e6},
+        {"max_events": 0},
+        {"max_wall_seconds": 0.0},
     ],
 )
 def test_validation_rejects(kw):
     with pytest.raises(ValueError):
         SimulationConfig(**kw)
+
+
+def test_validation_rejects_bad_cpu_quantum():
+    from dataclasses import replace
+
+    from repro.workload.parameters import WorkloadParameters
+
+    wl = replace(WorkloadParameters(), cpu_quantum=0.0)
+    with pytest.raises(ValueError, match="cpu_quantum"):
+        SimulationConfig(workload=wl)
+    wl = replace(WorkloadParameters(), cpu_quantum=-10.0)
+    with pytest.raises(ValueError, match="cpu_quantum"):
+        SimulationConfig(workload=wl)
+
+
+def test_validation_rejects_negative_cost_rates():
+    with pytest.raises(ValueError, match="per_sample_batch_cpu"):
+        SimulationConfig(daemon_costs=DaemonCostModel(per_sample_batch_cpu=-1.0))
+    with pytest.raises(ValueError, match="per_sample_network"):
+        SimulationConfig(daemon_costs=DaemonCostModel(per_sample_network=-1.0))
 
 
 def test_tree_requires_mpp():
