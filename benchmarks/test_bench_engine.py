@@ -1,0 +1,112 @@
+"""Engine microbenchmarks: one sweep, three schedules.
+
+A representative sweep (8 sampling periods × 3 replications = 24 cells)
+runs serially, on a 4-worker process pool, and from a fully warm
+content-addressed cell cache.  The benchmark clock records each
+schedule's cost; the assertions check the engine's contract — metrics
+identical to the serial run in every schedule, near-linear speedup when
+the host actually has cores to offer, and ≥ 10× from the warm cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import (
+    CellCache,
+    ExperimentEngine,
+    results_equal,
+    sweep,
+)
+from repro.rocc import SimulationConfig
+
+_BASE = SimulationConfig(nodes=4, duration=1_500_000.0, seed=11)
+_PERIODS_US = [p * 1000.0 for p in (2, 4, 6, 8, 12, 16, 24, 32)]
+_REPS = 3
+_N_CELLS = len(_PERIODS_US) * _REPS
+
+#: Serial reference shared across the three benchmarks (computed once).
+_state = {}
+
+
+def _run_sweep(engine):
+    return sweep(
+        _BASE, "sampling_period", _PERIODS_US, repetitions=_REPS, engine=engine
+    )
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _serial_reference():
+    if "serial" not in _state:
+        engine = ExperimentEngine(workers=1, cache=CellCache(enabled=False))
+        _state["serial"] = _timed(lambda: _run_sweep(engine))
+    return _state["serial"]
+
+
+def _assert_identical(cells, reference):
+    assert len(cells) == len(reference)
+    for cell, ref in zip(cells, reference):
+        assert len(cell.results) == _REPS
+        for r, rr in zip(cell.results, ref.results):
+            assert results_equal(r, rr)
+
+
+def test_bench_engine_sweep_serial(run_once):
+    """Baseline: 24 cells inline on one core."""
+
+    def payload():
+        engine = ExperimentEngine(workers=1, cache=CellCache(enabled=False))
+        out = _timed(lambda: _run_sweep(engine))
+        assert engine.stats.cells_run == _N_CELLS
+        return out
+
+    _state["serial"] = run_once(payload)
+    cells, _ = _state["serial"]
+    assert all(len(c.results) == _REPS for c in cells)
+
+
+def test_bench_engine_sweep_parallel(run_once):
+    """The same sweep fanned out over a 4-worker process pool."""
+    ref_cells, ref_wall = _serial_reference()
+
+    def payload():
+        with ExperimentEngine(workers=4, cache=CellCache(enabled=False)) as eng:
+            out = _timed(lambda: _run_sweep(eng))
+            assert eng.stats.cells_run == _N_CELLS
+            return out
+
+    cells, wall = run_once(payload)
+    _assert_identical(cells, ref_cells)
+    if (os.cpu_count() or 1) >= 4:
+        # Near-linear on 4 real cores; ≥ 2× is the acceptance floor.
+        assert ref_wall / wall >= 2.0, (
+            f"parallel speedup {ref_wall / wall:.2f}x < 2x "
+            f"(serial {ref_wall:.2f}s, parallel {wall:.2f}s)"
+        )
+
+
+def test_bench_engine_sweep_cached_warm(run_once, tmp_path):
+    """The same sweep again, every cell served from the cell cache."""
+    ref_cells, ref_wall = _serial_reference()
+    engine = ExperimentEngine(workers=1, cache=CellCache(tmp_path))
+    _run_sweep(engine)  # cold pass populates the cache
+    assert engine.stats.cells_run == _N_CELLS
+
+    def payload():
+        return _timed(lambda: _run_sweep(engine))
+
+    cells, wall = run_once(payload)
+    _assert_identical(cells, ref_cells)
+    assert engine.stats.cache_hits == _N_CELLS  # warm pass executed nothing
+    assert ref_wall / wall >= 10.0, (
+        f"warm-cache speedup {ref_wall / wall:.2f}x < 10x "
+        f"(serial {ref_wall:.2f}s, cached {wall:.2f}s)"
+    )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, product
-from typing import Any, Dict, Iterator, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -74,6 +74,18 @@ class FactorialDesign:
             yield {
                 f.name: f.level(int(s)) for f, s in zip(self.factors, row)
             }
+
+    def configs(self, make_config: Callable[[Dict[str, Any]], Any]) -> List[Any]:
+        """Materialize one experiment cell description per run.
+
+        *make_config* maps a run's ``{factor name: value}`` dict to
+        whatever the experiment layer schedules (typically a
+        ``SimulationConfig``); the list is in standard (Yates) order so
+        row *i* lines up with ``signs()[i]`` and ``run_label(i)``.  This
+        is the seam the parallel experiment engine uses: the design
+        enumerates cells, ``repro.experiments.run_design`` batches them.
+        """
+        return [make_config(run) for run in self.runs()]
 
     # ------------------------------------------------------------------
     def effect_columns(self) -> Tuple[List[str], np.ndarray]:

@@ -12,11 +12,31 @@ Or from the command line::
     python -m repro.experiments list
     python -m repro.experiments figure17
     python -m repro.experiments all --full
+
+Cells (one simulation per ``(config, replication)`` pair) are scheduled
+by an :class:`~repro.experiments.engine.ExperimentEngine` — parallel
+across processes when ``workers > 1`` (or ``REPRO_WORKERS`` is set) and
+memoized on disk by a content-addressed cell cache:
+
+>>> from repro.experiments import ExperimentEngine, use_engine, sweep
+>>> with use_engine(ExperimentEngine(workers=4)) as eng:   # doctest: +SKIP
+...     cells = sweep(cfg, "nodes", [2, 4, 8, 16])
+...     print(eng.stats.summary())
 """
 
+from .engine import (
+    CellCache,
+    CellError,
+    EngineStats,
+    ExperimentEngine,
+    config_fingerprint,
+    current_engine,
+    results_equal,
+    use_engine,
+)
 from .registry import Experiment, get, list_experiments, run
-from .reporting import ArtifactGroup, SeriesSet, Table
-from .runners import CellError, MeanResults, metric_series, replicate, sweep
+from .reporting import ArtifactGroup, SeriesSet, Table, engine_stats_table
+from .runners import MeanResults, metric_series, replicate, run_design, sweep
 
 __all__ = [
     "run",
@@ -28,7 +48,16 @@ __all__ = [
     "ArtifactGroup",
     "replicate",
     "sweep",
+    "run_design",
     "metric_series",
     "MeanResults",
     "CellError",
+    "ExperimentEngine",
+    "EngineStats",
+    "CellCache",
+    "config_fingerprint",
+    "results_equal",
+    "current_engine",
+    "use_engine",
+    "engine_stats_table",
 ]

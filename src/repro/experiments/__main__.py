@@ -40,6 +40,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also save each artifact as <DIR>/<id>.json (+ .txt)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run simulation cells on N worker processes "
+        "(default: $REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed cell cache",
+    )
     args = parser.parse_args(argv)
 
     if args.ids == ["list"]:
@@ -51,26 +64,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     if ids == ["all"]:
         ids = [e.id for e in list_experiments()]
 
+    from .engine import CellCache, ExperimentEngine, use_engine
+
+    engine = ExperimentEngine(
+        workers=args.workers,
+        cache=CellCache(enabled=False) if args.no_cache else None,
+    )
     status = 0
-    for id_ in ids:
-        try:
-            experiment = get(id_)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            status = 2
-            continue
-        t0 = time.time()
-        artifact = experiment.run(quick=not args.full)
-        elapsed = time.time() - t0
-        print(artifact.format())
-        if args.out:
-            from pathlib import Path
+    with engine, use_engine(engine):
+        for id_ in ids:
+            try:
+                experiment = get(id_)
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                status = 2
+                continue
+            t0 = time.time()
+            artifact = experiment.run(quick=not args.full)
+            elapsed = time.time() - t0
+            print(artifact.format())
+            if args.out:
+                from pathlib import Path
 
-            from .reporting import save_artifact
+                from .reporting import save_artifact
 
-            path = save_artifact(artifact, Path(args.out) / f"{id_}.json")
-            print(f"[saved to {path}]")
-        print(f"\n[{id_} completed in {elapsed:.1f}s]\n")
+                path = save_artifact(artifact, Path(args.out) / f"{id_}.json")
+                print(f"[saved to {path}]")
+            print(f"\n[{id_} completed in {elapsed:.1f}s]\n")
+        print(f"[engine: {engine.stats.summary()}]", file=sys.stderr)
     return status
 
 

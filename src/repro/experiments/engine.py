@@ -1,0 +1,551 @@
+"""Parallel experiment engine with a content-addressed cell cache.
+
+Every number the paper reports is the outcome of an independent
+*simulation cell* — one ``(SimulationConfig, replication)`` pair — and
+cells draw from dedicated named substreams, so they are embarrassingly
+parallel and fully deterministic.  :class:`ExperimentEngine` exploits
+both properties:
+
+* **Scheduling** — cells submitted through :meth:`ExperimentEngine.run_cells`
+  fan out across a process pool (``workers > 1``) or run inline
+  (``workers=1``, the serial fallback, which preserves the historical
+  fail-fast behavior exactly).  Failures ship back as picklable
+  :class:`CellError` artifacts, so ``isolate=True`` semantics survive
+  the process boundary — including workers killed mid-cell.
+* **Memoization** — a :class:`CellCache` keys finished
+  :class:`~repro.rocc.metrics.SimulationResults` by a stable content
+  fingerprint of the config (every dataclass field, nested cost models,
+  distributions, fault plan, replication index) salted with a hash of
+  the simulation source code, so re-running a sweep or benchmark
+  recomputes only cells whose inputs or code actually changed.
+
+Environment knobs:
+
+* ``REPRO_WORKERS`` — worker count of the ambient engine (default 1).
+* ``REPRO_CELL_CACHE`` — set to ``0``/``off`` to disable the cache.
+* ``REPRO_CACHE_DIR`` — cache directory (default
+  ``$XDG_CACHE_HOME/repro/cells`` or ``~/.cache/repro/cells``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+import traceback as _traceback
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, is_dataclass, replace
+from enum import Enum
+from math import isnan, nan
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..rocc.aggregate import simulate_aggregated
+from ..rocc.config import SimulationConfig
+from ..rocc.metrics import SimulationResults
+from ..rocc.system import simulate
+
+__all__ = [
+    "CellError",
+    "EngineCellError",
+    "EngineStats",
+    "CellCache",
+    "ExperimentEngine",
+    "config_fingerprint",
+    "code_version",
+    "results_equal",
+    "current_engine",
+    "use_engine",
+]
+
+
+# ---------------------------------------------------------------------------
+# Failure artifacts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellError:
+    """A failed cell, preserved as an artifact of the sweep.
+
+    With ``isolate=True`` a crashing cell no longer aborts the whole
+    experiment: the error (message + formatted traceback) rides along in
+    :attr:`MeanResults.errors` and the sweep completes with whatever
+    replications succeeded.  The artifact is plain strings, so it
+    crosses process boundaries even when the original exception cannot
+    be pickled.
+    """
+
+    config_summary: str
+    error: str
+    traceback: str
+
+    @classmethod
+    def from_exception(cls, config: SimulationConfig, exc: BaseException) -> "CellError":
+        summary = (
+            f"{config.architecture.value} n={config.nodes} "
+            f"b={config.batch_size} rep={config.replication}"
+        )
+        return cls(
+            config_summary=summary,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+
+class EngineCellError(RuntimeError):
+    """Raised (non-isolated runs) when a worker's exception cannot be
+    re-raised verbatim in the parent — e.g. an unpicklable exception
+    type or a worker process that died mid-cell."""
+
+    def __init__(self, cell_error: CellError):
+        self.cell_error = cell_error
+        super().__init__(
+            f"cell {cell_error.config_summary} failed: {cell_error.error}\n"
+            f"{cell_error.traceback}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed fingerprinting
+# ---------------------------------------------------------------------------
+
+#: Sub-packages whose source defines simulation semantics; their content
+#: hash salts every fingerprint so stale results die with code changes.
+_SIM_PACKAGES = ("des", "rocc", "faults", "workload", "variates")
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of the simulation source tree (the cache's code salt)."""
+    global _code_version
+    if _code_version is None:
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for pkg in _SIM_PACKAGES:
+            for path in sorted((root / pkg).rglob("*.py")):
+                h.update(str(path.relative_to(root)).encode())
+                h.update(path.read_bytes())
+        h.update(os.environ.get("REPRO_CACHE_SALT", "").encode())
+        _code_version = h.hexdigest()[:16]
+    return _code_version
+
+
+def _canonical(obj) -> object:
+    """Recursively reduce *obj* to a deterministic, order-stable form.
+
+    Covers everything a :class:`SimulationConfig` can hold: nested
+    dataclasses (cost models, workload, fault plans), enums,
+    distributions (plain objects — captured by class name + instance
+    dict), numpy arrays, and containers.  ``repr`` of floats keeps full
+    precision, so configs differing in the 17th digit fingerprint apart.
+    """
+    if obj is None or isinstance(obj, (str, int, bool)):
+        return obj
+    if isinstance(obj, float):
+        return ("f", repr(obj))
+    if isinstance(obj, Enum):
+        return ("enum", type(obj).__name__, _canonical(obj.value))
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            "dc",
+            type(obj).__name__,
+            tuple((f.name, _canonical(getattr(obj, f.name))) for f in fields(obj)),
+        )
+    if isinstance(obj, dict):
+        items = [(_canonical(k), _canonical(v)) for k, v in obj.items()]
+        return ("dict", tuple(sorted(items, key=repr)))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(_canonical(v) for v in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted((_canonical(v) for v in obj), key=repr)))
+    if isinstance(obj, np.ndarray):
+        return ("nd", obj.shape, tuple(repr(float(v)) for v in obj.ravel()))
+    if isinstance(obj, np.generic):
+        return ("f", repr(obj.item()))
+    d = getattr(obj, "__dict__", None)
+    if d is not None:
+        return (
+            "obj",
+            type(obj).__name__,
+            tuple((k, _canonical(v)) for k, v in sorted(d.items())),
+        )
+    return ("repr", repr(obj))
+
+
+def config_fingerprint(config: SimulationConfig, aggregated: bool = False) -> str:
+    """Stable content address of one simulation cell.
+
+    Two configs fingerprint identically iff every field — including the
+    replication index and nested models — matches and the simulation
+    source is unchanged.
+    """
+    payload = ("cell-v1", code_version(), bool(aggregated), _canonical(config))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def results_equal(a: SimulationResults, b: SimulationResults) -> bool:
+    """Field-by-field equality, treating NaN as equal to NaN."""
+
+    def same(x, y) -> bool:
+        if isinstance(x, float) and isinstance(y, float):
+            return x == y or (isnan(x) and isnan(y))
+        return x == y
+
+    return all(same(getattr(a, f.name), getattr(b, f.name)) for f in fields(a))
+
+
+# ---------------------------------------------------------------------------
+# On-disk cell cache
+# ---------------------------------------------------------------------------
+
+
+def _default_cache_root() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "cells"
+
+
+def _cache_enabled_by_env() -> bool:
+    return os.environ.get("REPRO_CELL_CACHE", "1").strip().lower() not in (
+        "0", "off", "false", "no", "",
+    )
+
+
+class CellCache:
+    """Content-addressed store of pickled :class:`SimulationResults`.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl``; writes are atomic
+    (temp file + rename) so concurrent workers and interrupted runs
+    cannot leave half-written entries, and unreadable entries are
+    evicted on read and treated as misses.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None,
+                 enabled: Optional[bool] = None):
+        self.root = Path(root).expanduser() if root else _default_cache_root()
+        self.enabled = _cache_enabled_by_env() if enabled is None else enabled
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimulationResults]:
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            result = pickle.loads(blob)
+        except Exception:
+            path.unlink(missing_ok=True)  # evict corrupt entry
+            return None
+        return result if isinstance(result, SimulationResults) else None
+
+    def put(self, key: str, results: SimulationResults) -> None:
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL))
+            tmp.replace(path)
+        except OSError:
+            tmp.unlink(missing_ok=True)  # cache is best-effort
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.pkl"):
+                path.unlink(missing_ok=True)
+                n += 1
+        return n
+
+
+# ---------------------------------------------------------------------------
+# Engine statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineStats:
+    """Shared counters of one engine's activity (see ``reporting``)."""
+
+    workers: int = 1
+    cells_submitted: int = 0
+    #: Cells actually executed (cache misses, including failed cells).
+    cells_run: int = 0
+    cache_hits: int = 0
+    cell_errors: int = 0
+    #: Wall-clock seconds spent inside ``run_cells`` batches.
+    wall_time: float = 0.0
+    #: Sum of per-cell wall seconds as measured inside the workers.
+    cell_wall_time: float = 0.0
+    #: Sum of per-cell CPU seconds as measured inside the workers.
+    cell_cpu_time: float = 0.0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cells_run
+
+    @property
+    def worker_utilization(self) -> float:
+        """Busy fraction of the worker pool: cell wall time over
+        (batch wall time × workers).  NaN until something has run."""
+        if self.wall_time <= 0 or self.workers < 1:
+            return nan
+        return self.cell_wall_time / (self.wall_time * self.workers)
+
+    def copy(self) -> "EngineStats":
+        return replace(self)
+
+    def since(self, earlier: "EngineStats") -> "EngineStats":
+        """Delta of the counters relative to an earlier snapshot."""
+        return EngineStats(
+            workers=self.workers,
+            cells_submitted=self.cells_submitted - earlier.cells_submitted,
+            cells_run=self.cells_run - earlier.cells_run,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cell_errors=self.cell_errors - earlier.cell_errors,
+            wall_time=self.wall_time - earlier.wall_time,
+            cell_wall_time=self.cell_wall_time - earlier.cell_wall_time,
+            cell_cpu_time=self.cell_cpu_time - earlier.cell_cpu_time,
+        )
+
+    def summary(self) -> str:
+        util = self.worker_utilization
+        util_s = f"{100.0 * util:.0f}%" if util == util else "-"
+        return (
+            f"{self.cells_submitted} cells ({self.cells_run} run, "
+            f"{self.cache_hits} cached, {self.cell_errors} failed) in "
+            f"{self.wall_time:.2f}s wall / {self.cell_cpu_time:.2f}s cpu, "
+            f"{self.workers} worker(s), {util_s} utilization"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cell execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CellOutcome:
+    """What one executed cell produced (picklable in every branch)."""
+
+    ok: bool
+    result: Optional[SimulationResults] = None
+    error: Optional[CellError] = None
+    #: The original exception when it can cross the process boundary
+    #: (re-raised verbatim by non-isolated runs).
+    exc: Optional[BaseException] = None
+    wall: float = 0.0
+    cpu: float = 0.0
+
+
+def _run_cell(payload: Tuple[SimulationConfig, bool]) -> _CellOutcome:
+    """Execute one cell; never raises (failures become artifacts)."""
+    config, aggregated = payload
+    runner: Callable[[SimulationConfig], SimulationResults] = (
+        simulate_aggregated if aggregated else simulate
+    )
+    t0, c0 = time.perf_counter(), time.process_time()
+    try:
+        result = runner(config)
+    except Exception as exc:
+        err = CellError.from_exception(config, exc)
+        try:  # only ship the exception object if it survives pickling
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            exc = None
+        return _CellOutcome(
+            ok=False, error=err, exc=exc,
+            wall=time.perf_counter() - t0, cpu=time.process_time() - c0,
+        )
+    return _CellOutcome(
+        ok=True, result=result,
+        wall=time.perf_counter() - t0, cpu=time.process_time() - c0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class ExperimentEngine:
+    """Schedules simulation cells over workers, memoized by content.
+
+    ``workers=1`` (the default, or ``REPRO_WORKERS`` unset) executes
+    inline with fail-fast semantics identical to the historical serial
+    loops; ``workers=N`` fans cells out over a lazily created
+    :class:`~concurrent.futures.ProcessPoolExecutor` that is reused
+    across batches until :meth:`close`.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache: Optional[CellCache] = None,
+                 stats: Optional[EngineStats] = None):
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "1") or 1)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache if cache is not None else CellCache()
+        self.stats = stats if stats is not None else EngineStats(workers=workers)
+        self.stats.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------
+    def run_cells(
+        self,
+        configs: Sequence[SimulationConfig],
+        aggregated: bool = False,
+        isolate: bool = False,
+    ) -> List[Union[SimulationResults, CellError]]:
+        """Run every cell, returning outcomes in submission order.
+
+        Cached cells are served from the :class:`CellCache` without
+        executing; the rest run inline (``workers=1``) or on the pool.
+        Failures become :class:`CellError` entries under ``isolate=True``
+        and raise otherwise — the original exception when picklable,
+        :class:`EngineCellError` when not (e.g. a worker killed
+        mid-cell, which surfaces as ``BrokenProcessPool``).
+        """
+        configs = list(configs)
+        t_start = time.perf_counter()
+        try:
+            return self._run_cells(configs, aggregated, isolate)
+        finally:
+            self.stats.wall_time += time.perf_counter() - t_start
+
+    def _run_cells(self, configs, aggregated, isolate):
+        self.stats.cells_submitted += len(configs)
+        outcomes: List[Union[SimulationResults, CellError, None]]
+        outcomes = [None] * len(configs)
+        misses: List[Tuple[int, SimulationConfig, Optional[str]]] = []
+        for i, config in enumerate(configs):
+            key = (
+                config_fingerprint(config, aggregated)
+                if self.cache.enabled else None
+            )
+            hit = self.cache.get(key) if key else None
+            if hit is not None:
+                outcomes[i] = hit
+                self.stats.cache_hits += 1
+            else:
+                misses.append((i, config, key))
+
+        for i, key, out in self._execute(misses, aggregated, isolate):
+            self.stats.cells_run += 1
+            self.stats.cell_wall_time += out.wall
+            self.stats.cell_cpu_time += out.cpu
+            if out.ok:
+                outcomes[i] = out.result
+                if key:
+                    self.cache.put(key, out.result)
+                continue
+            self.stats.cell_errors += 1
+            if not isolate:
+                if out.exc is not None:
+                    raise out.exc
+                raise EngineCellError(out.error)
+            outcomes[i] = out.error
+        return outcomes
+
+    def _execute(
+        self, misses, aggregated: bool, isolate: bool
+    ) -> Iterator[Tuple[int, Optional[str], _CellOutcome]]:
+        if not misses:
+            return
+        if self.workers == 1 or len(misses) == 1:
+            for i, config, key in misses:
+                out = _run_cell((config, aggregated))
+                yield i, key, out
+                if not out.ok and not isolate:
+                    return  # fail fast: later cells never start
+            return
+        pool = self._ensure_pool()
+        futures = [
+            (i, config, key, pool.submit(_run_cell, (config, aggregated)))
+            for i, config, key in misses
+        ]
+        for i, config, key, future in futures:
+            try:
+                out = future.result()
+            except BaseException as exc:
+                # The worker died (BrokenProcessPool) or the outcome
+                # could not cross the boundary; synthesize an artifact.
+                if isinstance(exc, KeyboardInterrupt):
+                    raise
+                self._reset_broken_pool()
+                out = _CellOutcome(
+                    ok=False, error=CellError.from_exception(config, exc),
+                    exc=exc,
+                )
+            yield i, key, out
+
+    def _reset_broken_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# Ambient engine
+# ---------------------------------------------------------------------------
+
+_default_engine: Optional[ExperimentEngine] = None
+_engine_stack: List[ExperimentEngine] = []
+
+
+def current_engine() -> ExperimentEngine:
+    """The innermost :func:`use_engine` engine, else a process-wide
+    default built from the environment on first use."""
+    if _engine_stack:
+        return _engine_stack[-1]
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExperimentEngine()
+    return _default_engine
+
+
+@contextmanager
+def use_engine(engine: ExperimentEngine):
+    """Make *engine* ambient for ``replicate``/``sweep`` in the block."""
+    _engine_stack.append(engine)
+    try:
+        yield engine
+    finally:
+        _engine_stack.pop()

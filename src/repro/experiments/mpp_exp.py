@@ -18,7 +18,7 @@ from ..expdesign.factorial import Factor, FactorialDesign
 from ..rocc.config import Architecture, ForwardingTopology, SimulationConfig
 from .registry import register
 from .reporting import ArtifactGroup, SeriesSet, Table
-from .runners import replicate
+from .runners import replicate, run_design
 
 __all__ = ["table6", "figure25", "figure26", "figure27", "figure28"]
 
@@ -54,10 +54,9 @@ def _mpp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
     design = _mpp_design(quick)
     duration = 2_500_000.0 if quick else 10_000_000.0
     reps = 2 if quick else 5
-    cpu_rows: List[List[float]] = []
-    lat_rows: List[List[float]] = []
-    for run in design.runs():
-        cfg = _mpp_base(
+
+    def make(run) -> SimulationConfig:
+        return _mpp_base(
             duration,
             nodes=int(run["nodes"]),
             sampling_period=run["sampling_period"],
@@ -65,11 +64,15 @@ def _mpp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
             forwarding=run["forwarding"],
             seed=60,
         )
-        res = replicate(cfg, repetitions=reps)
-        cpu_rows.append([r.pd_cpu_time_per_node / 1e6 for r in res.results])
-        lat_rows.append(
-            [r.monitoring_latency_forwarding / 1e3 for r in res.results]
-        )
+
+    cells = run_design(design, make, repetitions=reps)
+    cpu_rows = [
+        [r.pd_cpu_time_per_node / 1e6 for r in cell.results] for cell in cells
+    ]
+    lat_rows = [
+        [r.monitoring_latency_forwarding / 1e3 for r in cell.results]
+        for cell in cells
+    ]
     return design, tuple(map(tuple, cpu_rows)), tuple(map(tuple, lat_rows))
 
 

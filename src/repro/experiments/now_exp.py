@@ -16,7 +16,7 @@ from ..expdesign.factorial import Factor, FactorialDesign
 from ..rocc.config import NetworkMode, SimulationConfig
 from .registry import register
 from .reporting import ArtifactGroup, SeriesSet, Table
-from .runners import MeanResults, metric_series, replicate, sweep
+from .runners import MeanResults, metric_series, run_design, sweep
 
 __all__ = ["table4", "figure16", "figure17", "figure18", "figure19"]
 
@@ -43,9 +43,8 @@ def _now_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
     design = _now_design(quick)
     duration = 2_000_000.0 if quick else 10_000_000.0
     reps = 2 if quick else 5
-    cpu_rows: List[List[float]] = []
-    lat_rows: List[List[float]] = []
-    for run in design.runs():
+
+    def make(run) -> SimulationConfig:
         cfg = SimulationConfig(
             nodes=int(run["nodes"]),
             sampling_period=run["sampling_period"],
@@ -53,12 +52,18 @@ def _now_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
             duration=duration,
             seed=40,
         )
-        cfg = cfg.with_(workload=cfg.workload.with_network_demand(run["app_network_us"]))
-        res = replicate(cfg, repetitions=reps)
-        cpu_rows.append([r.pd_cpu_time_per_node / 1e6 for r in res.results])
-        lat_rows.append(
-            [r.monitoring_latency_forwarding / 1e3 for r in res.results]
+        return cfg.with_(
+            workload=cfg.workload.with_network_demand(run["app_network_us"])
         )
+
+    cells = run_design(design, make, repetitions=reps)
+    cpu_rows = [
+        [r.pd_cpu_time_per_node / 1e6 for r in cell.results] for cell in cells
+    ]
+    lat_rows = [
+        [r.monitoring_latency_forwarding / 1e3 for r in cell.results]
+        for cell in cells
+    ]
     return design, tuple(map(tuple, cpu_rows)), tuple(map(tuple, lat_rows))
 
 

@@ -20,7 +20,8 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from .reporting import Artifact
+from .engine import ExperimentEngine, current_engine, use_engine
+from .reporting import Artifact, engine_stats_note
 
 __all__ = ["Experiment", "register", "get", "run", "list_experiments", "REGISTRY"]
 
@@ -35,10 +36,35 @@ class Experiment:
     runner: Callable[..., Artifact]
     description: str = ""
 
-    def run(self, quick: Optional[bool] = None, **kwargs) -> Artifact:
+    def run(
+        self,
+        quick: Optional[bool] = None,
+        engine: Optional[ExperimentEngine] = None,
+        workers: Optional[int] = None,
+        **kwargs,
+    ) -> Artifact:
+        """Run the experiment, scheduling its cells on an engine.
+
+        *engine* (or a fresh ``ExperimentEngine(workers=workers)`` when
+        only *workers* is given) becomes ambient for the runner, so
+        every ``replicate``/``sweep``/``run_design`` inside fans out
+        through it; the engine-activity delta for this run is appended
+        to the artifact's notes.
+        """
         if quick is None:
             quick = os.environ.get("REPRO_FULL", "") != "1"
-        return self.runner(quick=quick, **kwargs)
+        if engine is None:
+            engine = (
+                ExperimentEngine(workers=workers)
+                if workers is not None else current_engine()
+            )
+        before = engine.stats.copy()
+        with use_engine(engine):
+            artifact = self.runner(quick=quick, **kwargs)
+        delta = engine.stats.since(before)
+        if delta.cells_submitted and hasattr(artifact, "notes"):
+            artifact.notes.append(engine_stats_note(delta))
+        return artifact
 
 
 REGISTRY: Dict[str, Experiment] = {}

@@ -26,6 +26,8 @@ __all__ = [
     "fmt_value",
     "artifact_to_dict",
     "save_artifact",
+    "engine_stats_note",
+    "engine_stats_table",
 ]
 
 
@@ -157,6 +159,34 @@ class ArtifactGroup:
 
 
 Artifact = Union[Table, SeriesSet, ArtifactGroup]
+
+
+def engine_stats_note(stats) -> str:
+    """One-line provenance note for an artifact's ``notes`` list.
+
+    *stats* is an :class:`~repro.experiments.engine.EngineStats` (or the
+    delta of one run); duck-typed so reporting stays import-light.
+    """
+    return f"engine: {stats.summary()}"
+
+
+def engine_stats_table(stats) -> Table:
+    """Render an :class:`~repro.experiments.engine.EngineStats` as a
+    :class:`Table` (cells run vs cached, wall/CPU time, utilization)."""
+    table = Table(
+        title="Experiment engine activity",
+        headers=["counter", "value"],
+    )
+    util = stats.worker_utilization
+    table.add_row("workers", stats.workers)
+    table.add_row("cells submitted", stats.cells_submitted)
+    table.add_row("cells run", stats.cells_run)
+    table.add_row("cache hits", stats.cache_hits)
+    table.add_row("cell errors", stats.cell_errors)
+    table.add_row("wall time (s)", stats.wall_time)
+    table.add_row("cell CPU time (s)", stats.cell_cpu_time)
+    table.add_row("worker utilization", util)
+    return table
 
 
 def _json_safe(v: Any) -> Any:

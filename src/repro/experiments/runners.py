@@ -6,21 +6,34 @@ simulator with distinct replication substreams so repetitions are
 independent but comparisons across factor levels share random numbers
 (common random numbers, the variance-reduction the factorial design
 relies on).
+
+All cells are submitted through the ambient
+:class:`~repro.experiments.engine.ExperimentEngine` (see
+:func:`~repro.experiments.engine.use_engine`): :func:`sweep` and
+:func:`run_design` flatten every ``(value, replication)`` pair into one
+batch so a multi-worker engine can overlap all of them, and finished
+cells are memoized in the engine's content-addressed cache.
 """
 
 from __future__ import annotations
 
-import traceback as _traceback
 from dataclasses import dataclass, field, fields
 from statistics import mean
-from typing import Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
-from ..rocc.aggregate import simulate_aggregated
+from ..expdesign.factorial import FactorialDesign
 from ..rocc.config import SimulationConfig
 from ..rocc.metrics import SimulationResults
-from ..rocc.system import simulate
+from .engine import CellError, ExperimentEngine, current_engine
 
-__all__ = ["CellError", "MeanResults", "replicate", "metric_series", "sweep"]
+__all__ = [
+    "CellError",
+    "MeanResults",
+    "replicate",
+    "metric_series",
+    "sweep",
+    "run_design",
+]
 
 #: SimulationResults fields averaged by :func:`replicate`.
 _NUMERIC_FIELDS = [
@@ -50,37 +63,15 @@ _NUMERIC_FIELDS = [
 
 
 @dataclass
-class CellError:
-    """A failed replication, preserved as an artifact of the sweep.
-
-    With ``isolate=True`` a crashing cell no longer aborts the whole
-    experiment: the error (message + formatted traceback) rides along in
-    :attr:`MeanResults.errors` and the sweep completes with whatever
-    replications succeeded.
-    """
-
-    config_summary: str
-    error: str
-    traceback: str
-
-    @classmethod
-    def from_exception(cls, config: SimulationConfig, exc: BaseException) -> "CellError":
-        summary = (
-            f"{config.architecture.value} n={config.nodes} "
-            f"b={config.batch_size} rep={config.replication}"
-        )
-        return cls(
-            config_summary=summary,
-            error=f"{type(exc).__name__}: {exc}",
-            traceback="".join(
-                _traceback.format_exception(type(exc), exc, exc.__traceback__)
-            ),
-        )
-
-
-@dataclass
 class MeanResults:
-    """Replication means of a run, plus the raw per-rep results."""
+    """Replication means of a run, plus the raw per-rep results.
+
+    Results are immutable post-construction, so numeric means computed
+    by ``__getattr__`` are memoized onto the instance: the first read of
+    e.g. ``pd_cpu_time_per_node`` averages the replications, subsequent
+    reads are plain attribute lookups (reporting code touches the same
+    handful of metrics hundreds of times per artifact).
+    """
 
     results: List[SimulationResults]
     #: Replications that crashed (only populated under ``isolate=True``).
@@ -102,7 +93,11 @@ class MeanResults:
         if name in _NUMERIC_FIELDS:
             vals = [getattr(r, name) for r in reps]
             vals = [v for v in vals if v == v]  # drop NaN
-            return mean(vals) if vals else float("nan")
+            value = mean(vals) if vals else float("nan")
+            # Memoize: results never change after construction, so the
+            # instance attribute shadows __getattr__ from now on.
+            object.__setattr__(self, name, value)
+            return value
         if not reps:
             raise AttributeError(
                 f"{type(self).__name__!r} has no successful repetitions to "
@@ -141,35 +136,68 @@ class MeanResults:
         return self.monitoring_latency_total / 1e3
 
 
+def _rep_configs(config: SimulationConfig, repetitions: int) -> List[SimulationConfig]:
+    return [
+        config.with_(replication=config.replication + i)
+        for i in range(repetitions)
+    ]
+
+
+def _gather(outcomes: Sequence) -> MeanResults:
+    results = [o for o in outcomes if isinstance(o, SimulationResults)]
+    errors = [o for o in outcomes if isinstance(o, CellError)]
+    return MeanResults(results, errors)
+
+
 def replicate(
     config: SimulationConfig,
     repetitions: int = 3,
     aggregated: bool = False,
     isolate: bool = False,
+    engine: Optional[ExperimentEngine] = None,
 ) -> MeanResults:
     """Run *repetitions* independent replications of *config*.
 
     With ``isolate=True`` a crashing replication (including a
     watchdog-aborted one) is captured as a :class:`CellError` instead of
-    propagating, so long factorial sweeps survive one bad cell.
+    propagating, so long factorial sweeps survive one bad cell.  Cells
+    go through *engine* (default: the ambient engine), which may run
+    them in parallel and serve repeats from its cell cache.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
-    runner: Callable[[SimulationConfig], SimulationResults] = (
-        simulate_aggregated if aggregated else simulate
+    engine = engine or current_engine()
+    outcomes = engine.run_cells(
+        _rep_configs(config, repetitions), aggregated=aggregated, isolate=isolate
     )
-    results: List[SimulationResults] = []
-    errors: List[CellError] = []
-    for i in range(repetitions):
-        rep_config = config.with_(replication=config.replication + i)
-        if not isolate:
-            results.append(runner(rep_config))
-            continue
-        try:
-            results.append(runner(rep_config))
-        except Exception as exc:
-            errors.append(CellError.from_exception(rep_config, exc))
-    return MeanResults(results, errors)
+    return _gather(outcomes)
+
+
+def _run_grouped(
+    engine: ExperimentEngine,
+    groups: Mapping[int, List[SimulationConfig]],
+    n_groups: int,
+    aggregated: bool,
+    isolate: bool,
+    pre_failed: Optional[Dict[int, MeanResults]] = None,
+) -> List[MeanResults]:
+    """Run several cell groups as one flat engine batch, then regroup."""
+    order: List[int] = []
+    flat: List[SimulationConfig] = []
+    for gi, configs in groups.items():
+        order.extend([gi] * len(configs))
+        flat.extend(configs)
+    outcomes = engine.run_cells(flat, aggregated=aggregated, isolate=isolate)
+    per_group: Dict[int, List] = {gi: [] for gi in groups}
+    for gi, outcome in zip(order, outcomes):
+        per_group[gi].append(outcome)
+    cells: List[MeanResults] = []
+    for gi in range(n_groups):
+        if pre_failed and gi in pre_failed:
+            cells.append(pre_failed[gi])
+        else:
+            cells.append(_gather(per_group[gi]))
+    return cells
 
 
 def sweep(
@@ -179,37 +207,77 @@ def sweep(
     repetitions: int = 3,
     aggregated: bool = False,
     isolate: bool = False,
+    engine: Optional[ExperimentEngine] = None,
     **extra,
 ) -> List[MeanResults]:
     """Replicate *base* once per value of *parameter*.
 
-    Under ``isolate=True`` every cell completes (possibly with an empty
-    ``results`` list and the failure recorded in ``errors``), so a sweep
-    always returns one :class:`MeanResults` per requested value.
+    Every ``(value, replication)`` cell of the sweep is submitted to the
+    engine as one batch, so a multi-worker engine overlaps the whole
+    sweep.  Under ``isolate=True`` every cell completes (possibly with
+    an empty ``results`` list and the failure recorded in ``errors``),
+    so a sweep always returns one :class:`MeanResults` per value.
     """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
     valid = {f.name for f in fields(SimulationConfig)}
     if parameter not in valid:
         raise ValueError(f"unknown config parameter {parameter!r}")
-    cells: List[MeanResults] = []
-    for v in values:
+    unknown = sorted(set(extra) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown config parameter(s) in extras: {', '.join(map(repr, unknown))}"
+        )
+    engine = engine or current_engine()
+    groups: Dict[int, List[SimulationConfig]] = {}
+    pre_failed: Dict[int, MeanResults] = {}
+    for vi, v in enumerate(values):
+        try:
+            cell_config = base.with_(**{parameter: v}, **extra)
+        except Exception as exc:
+            if not isolate:
+                raise
+            pre_failed[vi] = MeanResults([], [CellError.from_exception(base, exc)])
+            continue
+        groups[vi] = _rep_configs(cell_config, repetitions)
+    return _run_grouped(
+        engine, groups, len(values), aggregated, isolate, pre_failed
+    )
+
+
+def run_design(
+    design: FactorialDesign,
+    make_config: Callable[[Dict[str, Any]], SimulationConfig],
+    repetitions: int = 3,
+    aggregated: bool = False,
+    isolate: bool = False,
+    engine: Optional[ExperimentEngine] = None,
+) -> List[MeanResults]:
+    """Run a full 2^k·r factorial design through the engine.
+
+    *make_config* maps one run's ``{factor name: value}`` dict to a
+    :class:`SimulationConfig`.  All ``2^k × repetitions`` cells are
+    submitted as a single batch (maximal overlap on a parallel engine);
+    the returned list holds one :class:`MeanResults` per run, in the
+    design's standard (Yates) order.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    engine = engine or current_engine()
+    groups: Dict[int, List[SimulationConfig]] = {}
+    pre_failed: Dict[int, MeanResults] = {}
+    base_configs = design.configs(make_config)
+    for ri, cfg in enumerate(base_configs):
         if isolate:
             try:
-                cell_config = base.with_(**{parameter: v}, **extra)
+                groups[ri] = _rep_configs(cfg, repetitions)
             except Exception as exc:
-                bad = MeanResults([], [CellError.from_exception(base, exc)])
-                cells.append(bad)
-                continue
+                pre_failed[ri] = MeanResults([], [CellError.from_exception(cfg, exc)])
         else:
-            cell_config = base.with_(**{parameter: v}, **extra)
-        cells.append(
-            replicate(
-                cell_config,
-                repetitions=repetitions,
-                aggregated=aggregated,
-                isolate=isolate,
-            )
-        )
-    return cells
+            groups[ri] = _rep_configs(cfg, repetitions)
+    return _run_grouped(
+        engine, groups, len(base_configs), aggregated, isolate, pre_failed
+    )
 
 
 def metric_series(

@@ -16,7 +16,7 @@ from ..expdesign.factorial import Factor, FactorialDesign
 from ..rocc.config import Architecture, SimulationConfig
 from .registry import register
 from .reporting import ArtifactGroup, SeriesSet, Table
-from .runners import metric_series, replicate, sweep
+from .runners import metric_series, replicate, run_design, sweep
 
 __all__ = ["table5", "figure20", "figure21", "figure22", "figure23", "figure24"]
 
@@ -47,9 +47,8 @@ def _smp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
     design = _smp_design(quick)
     duration = 2_000_000.0 if quick else 10_000_000.0
     reps = 2 if quick else 5
-    cpu_rows: List[List[float]] = []
-    lat_rows: List[List[float]] = []
-    for run in design.runs():
+
+    def make(run) -> SimulationConfig:
         n = int(run["nodes"])
         cfg = _smp_base(
             duration,
@@ -59,19 +58,22 @@ def _smp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
             batch_size=int(run["batch_size"]),
             seed=50,
         )
-        cfg = cfg.with_(
+        return cfg.with_(
             workload=cfg.workload.with_network_demand(run["app_network_us"])
         )
-        res = replicate(cfg, repetitions=reps)
-        cpu_rows.append(
-            [
-                (r.pd_cpu_time_per_node + r.main_cpu_time / r.nodes) / 1e6
-                for r in res.results
-            ]
-        )
-        lat_rows.append(
-            [r.monitoring_latency_forwarding / 1e3 for r in res.results]
-        )
+
+    cells = run_design(design, make, repetitions=reps)
+    cpu_rows = [
+        [
+            (r.pd_cpu_time_per_node + r.main_cpu_time / r.nodes) / 1e6
+            for r in cell.results
+        ]
+        for cell in cells
+    ]
+    lat_rows = [
+        [r.monitoring_latency_forwarding / 1e3 for r in cell.results]
+        for cell in cells
+    ]
     return design, tuple(map(tuple, cpu_rows)), tuple(map(tuple, lat_rows))
 
 

@@ -28,7 +28,7 @@ from ..variates.distributions import Exponential, Lognormal
 from ..workload.parameters import WorkloadParameters
 from .registry import register
 from .reporting import ArtifactGroup, Table
-from .runners import replicate
+from .runners import replicate, run_design
 
 __all__ = ["figure30", "figure31", "workload_for_benchmark"]
 
@@ -78,16 +78,18 @@ def _policy_period_runs(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
     )
     duration = 3_000_000.0 if quick else 100_000_000.0
     reps = 3 if quick else 5
-    pd_rows: List[List[float]] = []
-    main_rows: List[List[float]] = []
-    for run in design.runs():
-        cfg = _testbed_config(
+
+    def make(run):
+        return _testbed_config(
             "pvmbt", run["sampling_period"], int(run["batch_size"]),
             duration, seed=70,
         )
-        res = replicate(cfg, repetitions=reps)
-        pd_rows.append([r.node0_pd_cpu_time / 1e6 for r in res.results])
-        main_rows.append([r.main_cpu_time / 1e6 for r in res.results])
+
+    cells = run_design(design, make, repetitions=reps)
+    pd_rows = [
+        [r.node0_pd_cpu_time / 1e6 for r in cell.results] for cell in cells
+    ]
+    main_rows = [[r.main_cpu_time / 1e6 for r in cell.results] for cell in cells]
     return design, tuple(map(tuple, pd_rows)), tuple(map(tuple, main_rows))
 
 
