@@ -26,6 +26,28 @@ def test_timeout_event_throughput(benchmark):
     assert result == 20_000.0
 
 
+def _hold_chain(n_events: int) -> float:
+    env = Environment()
+
+    def clock(env):
+        hold = env.hold
+        for _ in range(n_events):
+            yield hold(1.0)
+
+    env.process(clock(env))
+    env.run()
+    return env.now
+
+
+def test_hold_event_throughput(benchmark):
+    """Allocation-free process sleeps: the fast path the ROCC model
+    loops (CPU quanta, sampling ticks, network serialization) run on.
+    Equivalent workload to ``_timeout_chain``; the gap between the two
+    is the saving from ``env.hold``."""
+    result = benchmark(_hold_chain, 20_000)
+    assert result == 20_000.0
+
+
 def _resource_churn(n_ops: int) -> int:
     env = Environment()
     res = Resource(env, capacity=2)

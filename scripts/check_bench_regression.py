@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Gate DES benchmark results against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_des.py -q \
+        --benchmark-json results.json
+    python scripts/check_bench_regression.py results.json            # absolute
+    python scripts/check_bench_regression.py results.json --mode relative
+    python scripts/check_bench_regression.py results.json --update   # re-baseline
+
+Two comparison modes against ``BENCH_DES.json``:
+
+``absolute``
+    Each benchmark's min time must stay within ``tolerance`` of the
+    recorded min.  Meaningful only on the machine that generated the
+    baseline (use it locally when hunting a regression).
+
+``relative``
+    Each benchmark's min time is first normalized to the timeout-chain
+    floor, and the *ratio* is compared.  Machine speed cancels out, so
+    this is what CI gates on: it catches one kernel path eroding
+    relative to the others (e.g. holds losing their edge over timeouts)
+    without flaking on runner speed variance.
+
+``--update`` rewrites the ``baseline`` section (and the tolerance
+metadata if ``--tolerance`` was given) from the results file, keeping
+the history section intact.  Exit status: 0 = within tolerance,
+1 = regression, 2 = usage/data error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_DES.json"
+
+
+def load_results(path: Path) -> dict:
+    """Map benchmark name -> min seconds from a --benchmark-json file."""
+    data = json.loads(path.read_text())
+    out = {}
+    for bench in data.get("benchmarks", []):
+        out[bench["name"]] = float(bench["stats"]["min"])
+    if not out:
+        raise ValueError(f"no benchmarks found in {path}")
+    return out
+
+
+def check(
+    results: dict,
+    baseline: dict,
+    mode: str,
+    tolerance: float,
+) -> list:
+    """Return a list of (name, measured, allowed, detail) regressions."""
+    normalize_to = baseline["meta"].get("normalize_to")
+    entries = baseline["baseline"]
+    regressions = []
+
+    floor = None
+    if mode == "relative":
+        if normalize_to not in results:
+            raise ValueError(
+                f"relative mode needs the {normalize_to!r} benchmark in the results"
+            )
+        floor = results[normalize_to]
+
+    for name, entry in entries.items():
+        if name not in results:
+            print(f"  skip {name}: not in results file")
+            continue
+        measured = results[name]
+        if mode == "relative":
+            if name == normalize_to:
+                continue  # the floor is 1.0 by construction
+            measured_ratio = measured / floor
+            allowed = entry["ratio"] * (1.0 + tolerance)
+            ok = measured_ratio <= allowed
+            detail = (
+                f"ratio {measured_ratio:.3f} vs baseline {entry['ratio']:.3f} "
+                f"(allowed {allowed:.3f})"
+            )
+            value = measured_ratio
+        else:
+            allowed = entry["min"] * (1.0 + tolerance)
+            ok = measured <= allowed
+            detail = (
+                f"min {measured:.5f}s vs baseline {entry['min']:.5f}s "
+                f"(allowed {allowed:.5f}s)"
+            )
+            value = measured
+        status = "ok  " if ok else "FAIL"
+        print(f"  {status} {name}: {detail}")
+        if not ok:
+            regressions.append((name, value, allowed, detail))
+    return regressions
+
+
+def update_baseline(baseline_path: Path, baseline: dict, results: dict, tolerance) -> None:
+    normalize_to = baseline["meta"].get("normalize_to")
+    floor = results.get(normalize_to)
+    new = {}
+    for name, measured in sorted(results.items()):
+        ratio = measured / floor if floor else 1.0
+        new[name] = {"min": round(measured, 5), "ratio": round(ratio, 3)}
+    baseline["baseline"] = new
+    if tolerance is not None:
+        baseline["meta"]["tolerance"] = tolerance
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"baseline updated: {baseline_path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest --benchmark-json output")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE, help="baseline JSON file"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("absolute", "relative"),
+        default="absolute",
+        help="compare raw seconds (absolute) or floor-normalized ratios (relative)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional regression (default: baseline meta, 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline section from the results instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        results = load_results(args.results)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        update_baseline(args.baseline, baseline, results, args.tolerance)
+        return 0
+
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else float(baseline["meta"].get("tolerance", 0.25))
+    )
+    print(f"checking {len(results)} benchmarks ({args.mode}, tolerance {tolerance:.0%})")
+    try:
+        regressions = check(results, baseline, args.mode, tolerance)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"{len(regressions)} benchmark(s) regressed beyond {tolerance:.0%}")
+        return 1
+    print("all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from .events import (
     Condition,
     ConditionValue,
     Event,
+    Hold,
     Process,
     Timeout,
 )
@@ -40,6 +41,7 @@ from .exceptions import (
     StopSimulation,
 )
 from .monitor import Tally, TimeWeighted
+from .profiling import KernelProfiler, format_profile, merge_profiles
 from .resources import (
     Preempted,
     PreemptiveResource,
@@ -56,6 +58,7 @@ __all__ = [
     "Infinity",
     "Event",
     "Timeout",
+    "Hold",
     "Process",
     "Condition",
     "ConditionValue",
@@ -83,4 +86,7 @@ __all__ = [
     "EventCounter",
     "TraceEntry",
     "event_kind",
+    "KernelProfiler",
+    "format_profile",
+    "merge_profiles",
 ]

@@ -12,18 +12,21 @@ the ROCC model, but the kernel itself is unit-agnostic.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush, nsmallest
 from itertools import count
 from time import monotonic
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from .events import (
+    HOLD_COMPLETED,
     NORMAL,
     URGENT,
     AllOf,
     AnyOf,
     Condition,
     Event,
+    Hold,
     Process,
     Timeout,
 )
@@ -38,6 +41,24 @@ __all__ = ["Environment", "Infinity"]
 
 #: Convenience alias used for "run forever".
 Infinity: float = float("inf")
+
+#: Cap on the free lists so pathological models cannot hoard memory.
+_POOL_LIMIT = 256
+
+
+def _fastpath_enabled() -> bool:
+    """Read the ``REPRO_DES_FASTPATH`` escape hatch (default: on).
+
+    Checked once per :class:`Environment`, so tests can flip the
+    variable between runs to compare the generic and fast kernels.
+    """
+    return os.environ.get("REPRO_DES_FASTPATH", "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+#: The one callback the recycler accepts: a bound ``Process._resume``.
+_PROCESS_RESUME = Process._resume
 
 
 class Environment:
@@ -59,6 +80,14 @@ class Environment:
         #: plain list checked with one truthiness test so the untraced
         #: hot path stays cheap.
         self._tracers: List = []
+        #: ``REPRO_DES_FASTPATH=0`` disables holds and event recycling,
+        #: restoring the generic kernel (the equivalence-test baseline).
+        self._fastpath: bool = _fastpath_enabled()
+        # Free lists for recycled Hold / Timeout objects.  An object is
+        # only ever recycled once it has been popped and fully processed,
+        # so nothing can observe a pooled instance.
+        self._hold_pool: List[Hold] = []
+        self._timeout_pool: List[Timeout] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -101,8 +130,50 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` firing after *delay* time units."""
-        return Timeout(self, delay, value)
+        """Create a :class:`Timeout` firing after *delay* time units.
+
+        On the fast path the instance may come from a free list of
+        recycled timeouts (state fully reset); the observable behaviour
+        is identical to a freshly constructed :class:`Timeout`.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        t = pool.pop()
+        t.callbacks = []
+        t._value = value
+        t._ok = True
+        t._defused = False
+        t._delay = delay
+        heappush(self._queue, (self._now + delay, NORMAL, next(self._eid), t))
+        return t
+
+    def hold(self, delay: float):
+        """Park the active process for *delay* time units (fast timeout).
+
+        Semantically identical to ``yield env.timeout(delay)`` for a
+        plain process sleep, but allocation-free: no ``Timeout``, no
+        callbacks list — the run loop resumes the process directly off
+        the heap.  The return value must be yielded immediately and
+        never composed (``hold(d) | other`` is invalid); use
+        :meth:`timeout` when the event itself is needed.
+
+        Falls back to a real :class:`Timeout` when called outside a
+        process or when ``REPRO_DES_FASTPATH=0``.
+        """
+        proc = self._active_proc
+        if proc is None or not self._fastpath:
+            return self.timeout(delay)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        pool = self._hold_pool
+        hold = pool.pop() if pool else Hold()
+        hold.proc = proc
+        proc._target = hold
+        heappush(self._queue, (self._now + delay, NORMAL, next(self._eid), hold))
+        return HOLD_COMPLETED
 
     def process(
         self,
@@ -139,14 +210,40 @@ class Environment:
         except IndexError:
             raise EmptySchedule() from None
 
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks is None:  # pragma: no cover - double-processing guard
-            raise SimulationError(f"{event!r} processed twice")
+        if type(event) is Hold:
+            proc = event.proc
+            if self._tracers:
+                for tracer in self._tracers:
+                    tracer(event, self._now)
+            event.proc = None
+            if len(self._hold_pool) < _POOL_LIMIT:
+                self._hold_pool.append(event)
+            if proc is not None:  # None: cancelled by an interrupt
+                proc._resume(event)
+            return
+
         if self._tracers:
             for tracer in self._tracers:
                 tracer(event, self._now)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-processing guard
+            raise SimulationError(f"{event!r} processed twice")
         for callback in callbacks:
             callback(event)
+
+        if type(event) is Timeout:
+            # Recycle iff every waiter was a plain process resume (or the
+            # list is empty after an interrupt detach): such a timeout can
+            # never be re-inspected, unlike condition constituents whose
+            # values are read after processing.
+            if self._fastpath and len(self._timeout_pool) < _POOL_LIMIT:
+                for cb in callbacks:
+                    if getattr(cb, "__func__", None) is not _PROCESS_RESUME:
+                        return
+                # Pooled with callbacks=None: stale references still see a
+                # processed event until the instance is actually reused.
+                self._timeout_pool.append(event)
+            return
 
         if not event._ok and not event._defused:
             exc = event._value
@@ -185,8 +282,10 @@ class Environment:
             raise ValueError("max_wall_seconds must be positive")
         if until is not None and not isinstance(until, Event):
             at = float(until)
-            if at <= self._now:
-                raise ValueError(f"until ({at}) must be greater than now ({self._now})")
+            if at < self._now:
+                raise ValueError(f"until ({at}) must not be before now ({self._now})")
+            if at == self._now:  # SimPy semantics: nothing to do
+                return None
             until = Event(self)
             until._ok = True
             until._value = None
@@ -198,8 +297,7 @@ class Environment:
 
         try:
             if max_events is None and max_wall_seconds is None:
-                while True:
-                    self.step()
+                self._run_inner()
             else:
                 deadline = (
                     monotonic() + max_wall_seconds
@@ -233,10 +331,76 @@ class Environment:
                 ) from None
         return None
 
+    def _run_inner(self) -> None:
+        """Inlined dispatch loop for un-watchdogged runs.
+
+        Byte-for-byte the same event semantics as :meth:`step`, with
+        every per-event attribute lookup hoisted into a local.  Exits by
+        raising :class:`StopSimulation` / :class:`EmptySchedule`, which
+        :meth:`run` handles.
+        """
+        pop = heappop
+        queue = self._queue
+        tracers = self._tracers  # mutated in place by add/remove_tracer
+        hold_pool = self._hold_pool
+        timeout_pool = self._timeout_pool
+        fastpath = self._fastpath
+        resume = _PROCESS_RESUME
+        hold_cls = Hold
+        timeout_cls = Timeout
+        pool_limit = _POOL_LIMIT
+        while True:
+            try:
+                now, _, _, event = pop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            self._now = now
+            cls = event.__class__
+            if cls is hold_cls:
+                proc = event.proc
+                if tracers:
+                    for tracer in tracers:
+                        tracer(event, now)
+                event.proc = None
+                if len(hold_pool) < pool_limit:
+                    hold_pool.append(event)
+                if proc is not None:  # None: cancelled by an interrupt
+                    resume(proc, event)
+                continue
+            if tracers:
+                for tracer in tracers:
+                    tracer(event, now)
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks is None:  # pragma: no cover - double-processing guard
+                raise SimulationError(f"{event!r} processed twice")
+            for callback in callbacks:
+                callback(event)
+            if cls is timeout_cls:
+                if fastpath and len(timeout_pool) < pool_limit:
+                    for cb in callbacks:
+                        if getattr(cb, "__func__", None) is not resume:
+                            break
+                    else:
+                        timeout_pool.append(event)
+                continue
+            if not event._ok and not event._defused:
+                exc = event._value
+                if isinstance(exc, BaseException):
+                    raise exc
+                raise SimulationError(repr(exc))  # pragma: no cover
+
     def _stalled(self, reason: str, steps: int) -> SimulationStalled:
         """Build a :class:`SimulationStalled` naming blocked processes."""
         blocked: List[str] = []
         for _, _, _, event in nsmallest(16, self._queue):
+            if type(event) is Hold:
+                # Fast-path holds carry the parked process directly
+                # instead of a callbacks list.
+                proc = event.proc
+                if proc is not None and proc.name not in blocked:
+                    blocked.append(proc.name)
+                continue
             if isinstance(event, Process) and event.name not in blocked:
                 blocked.append(event.name)
             for callback in event.callbacks or ():

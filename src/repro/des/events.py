@@ -28,7 +28,9 @@ __all__ = [
     "PENDING",
     "URGENT",
     "NORMAL",
+    "HOLD_COMPLETED",
     "Event",
+    "Hold",
     "Timeout",
     "Initialize",
     "Interruption",
@@ -151,6 +153,55 @@ class Event:
         return Condition(self.env, Condition.any_events, [self, other])
 
 
+class _HoldCompleted:
+    """Sentinel yielded for a fast-path hold (see ``Environment.hold``).
+
+    ``Process._resume`` recognizes it by identity and simply parks the
+    process: the hold itself was already pushed on the heap by
+    ``Environment.hold``, so there is nothing to register callbacks on.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<HOLD_COMPLETED>"
+
+
+#: Singleton returned by ``Environment.hold`` on the fast path.  Model
+#: code must ``yield`` it immediately and must not inspect it.
+HOLD_COMPLETED: Any = _HoldCompleted()
+
+
+class Hold:
+    """Zero-allocation stand-in for a ``Timeout`` that resumes one process.
+
+    A hold is *not* an :class:`Event`: it has no callback list and no
+    per-instance value.  The run loop recognizes it by type, returns it
+    to the environment's free list, and resumes ``proc`` directly.  The
+    class-level event-protocol attributes (``ok``/``value``/...) make
+    holds safe to pass through ``Process._resume`` and tracers.
+    """
+
+    __slots__ = ("proc",)
+
+    # Event-protocol surface (a hold always "succeeds" with value None).
+    callbacks = None
+    triggered = True
+    processed = True
+    ok = True
+    value = None
+    _ok = True
+    _value = None
+    _defused = True
+
+    def __init__(self) -> None:
+        self.proc: Optional["Process"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = getattr(self.proc, "name", None)
+        return f"<Hold proc={name!r} at {id(self):#x}>"
+
+
 class Timeout(Event):
     """An event that fires ``delay`` time units after it is created."""
 
@@ -183,7 +234,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process"):
         self.env = env
-        self.callbacks = [process._resume]
+        self.callbacks = [process._resume_cb]
         self._value = None
         self._ok = True
         self._defused = True
@@ -215,9 +266,14 @@ class Interruption(Event):
             return
         # Detach from whatever the process is currently waiting on so the
         # original event does not also resume it later.
-        if proc._target is not None and proc._target.callbacks is not None:
+        target = proc._target
+        if type(target) is Hold:
+            # Fast-path hold: orphan the heap entry; the run loop recycles
+            # it without resuming anyone when it is eventually popped.
+            target.proc = None
+        elif target is not None and target.callbacks is not None:
             try:
-                proc._target.callbacks.remove(proc._resume)
+                target.callbacks.remove(proc._resume_cb)
             except ValueError:  # pragma: no cover - already detached
                 pass
         proc._resume(_Thrower(Interrupt(self.cause)))
@@ -226,10 +282,14 @@ class Interruption(Event):
 class _Thrower:
     """Minimal event-like object that makes ``_resume`` throw an exception."""
 
-    __slots__ = ("_exc", "_defused")
+    __slots__ = ("_value", "_defused")
+
+    # ``_resume`` reads the protocol slots directly, so mirror an Event's
+    # failed state at class level.
+    _ok = False
 
     def __init__(self, exc: BaseException):
-        self._exc = exc
+        self._value = exc
         self._defused = True
 
     @property
@@ -238,7 +298,7 @@ class _Thrower:
 
     @property
     def value(self) -> BaseException:
-        return self._exc
+        return self._value
 
     @property
     def defused(self) -> bool:
@@ -258,7 +318,7 @@ class Process(Event):
     event's value is the result of the ``yield`` expression.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb")
 
     def __init__(
         self,
@@ -272,6 +332,9 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        #: Cached bound method registered as the wake-up callback, so
+        #: parking on an event does not allocate a fresh bound method.
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     def __repr__(self) -> str:
@@ -296,19 +359,26 @@ class Process(Event):
         Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the value/exception of *event*."""
+        """Advance the generator with the value/exception of *event*.
+
+        Hot path: reads the event-protocol slots (``_ok``/``_value``)
+        directly instead of going through the properties — every event
+        handed to a resume is already triggered, so the property guards
+        are dead weight here.
+        """
         env = self.env
         env._active_proc = self
+        gen = self._generator
         while True:
             try:
-                if event.ok:
-                    next_event = self._generator.send(event.value)
+                if event._ok:
+                    next_event = gen.send(event._value)
                 else:
-                    event.defused = True
-                    exc = event.value
+                    event._defused = True
+                    exc = event._value
                     if not isinstance(exc, BaseException):  # pragma: no cover
                         exc = SimulationError(repr(exc))
-                    next_event = self._generator.throw(exc)
+                    next_event = gen.throw(exc)
             except StopIteration as exc:
                 # Process finished.
                 self._ok = True
@@ -323,12 +393,18 @@ class Process(Event):
                 break
 
             # The generator yielded an event to wait on.
+            if next_event is HOLD_COMPLETED:
+                # Fast-path hold: Environment.hold already scheduled it
+                # and pointed it at this process; just park.
+                env._active_proc = None
+                return
             try:
                 if next_event.callbacks is not None:
                     # Event not yet processed: register and go to sleep.
-                    next_event.callbacks.append(self._resume)
+                    next_event.callbacks.append(self._resume_cb)
                     self._target = next_event
-                    break
+                    env._active_proc = None
+                    return
                 # Already-processed event: loop immediately with its value.
                 event = next_event
             except AttributeError:
@@ -337,7 +413,8 @@ class Process(Event):
                         f"process {self.name!r} yielded a non-event: {next_event!r}"
                     ) from None
                 raise  # pragma: no cover
-        self._target = None if self.triggered else self._target
+        # Reached only when the generator terminated.
+        self._target = None
         env._active_proc = None
 
 

@@ -60,9 +60,10 @@ class Request(Event):
     __slots__ = ("resource", "proc", "usage_since")
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        env = resource.env
+        super().__init__(env)
         self.resource = resource
-        self.proc: Optional[Process] = resource.env.active_process
+        self.proc: Optional[Process] = env._active_proc
         #: Time the request was granted (set when it succeeds).
         self.usage_since: Optional[float] = None
         resource._do_request(self)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .core import Environment
-from .events import Event, Process, Timeout
+from .events import Event, Hold, Process, Timeout
 
 __all__ = ["TraceEntry", "EventLog", "EventCounter", "event_kind"]
 
@@ -29,7 +29,9 @@ def event_kind(event: Event) -> str:
     """Short classification of an event for logs and counters."""
     if isinstance(event, Process):
         return "process"
-    if isinstance(event, Timeout):
+    if isinstance(event, (Timeout, Hold)):
+        # A fast-path hold is semantically a timeout, so traces stay
+        # identical whichever kernel path produced the event.
         return "timeout"
     return type(event).__name__.lower()
 

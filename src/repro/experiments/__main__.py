@@ -53,6 +53,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="bypass the content-addressed cell cache",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the simulation kernel in every executed cell and "
+        "print the merged profile (implies --no-cache so cells run)",
+    )
     args = parser.parse_args(argv)
 
     if args.ids == ["list"]:
@@ -66,9 +72,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     from .engine import CellCache, ExperimentEngine, use_engine
 
+    if args.profile:
+        import os
+
+        os.environ["REPRO_PROFILE"] = "1"
+
     engine = ExperimentEngine(
         workers=args.workers,
-        cache=CellCache(enabled=False) if args.no_cache else None,
+        cache=(
+            CellCache(enabled=False)
+            if (args.no_cache or args.profile)
+            else None
+        ),
     )
     status = 0
     with engine, use_engine(engine):
@@ -92,6 +107,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"[saved to {path}]")
             print(f"\n[{id_} completed in {elapsed:.1f}s]\n")
         print(f"[engine: {engine.stats.summary()}]", file=sys.stderr)
+        if args.profile and engine.stats.profile is not None:
+            from ..des.profiling import format_profile
+
+            print(format_profile(engine.stats.profile), file=sys.stderr)
     return status
 
 

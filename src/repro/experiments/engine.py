@@ -44,6 +44,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..des.profiling import merge_profiles, take_last_profile
 from ..rocc.aggregate import simulate_aggregated
 from ..rocc.config import SimulationConfig
 from ..rocc.metrics import SimulationResults
@@ -297,6 +298,11 @@ class EngineStats:
     cell_wall_time: float = 0.0
     #: Sum of per-cell CPU seconds as measured inside the workers.
     cell_cpu_time: float = 0.0
+    #: Kernel events processed by profiled cells (0 unless REPRO_PROFILE).
+    sim_events: int = 0
+    #: Merged kernel profile of every profiled cell (None unless
+    #: REPRO_PROFILE; see :mod:`repro.des.profiling`).
+    profile: Optional[dict] = None
 
     @property
     def cache_misses(self) -> int:
@@ -314,7 +320,11 @@ class EngineStats:
         return replace(self)
 
     def since(self, earlier: "EngineStats") -> "EngineStats":
-        """Delta of the counters relative to an earlier snapshot."""
+        """Delta of the counters relative to an earlier snapshot.
+
+        The merged ``profile`` is cumulative (profiles only ever merge),
+        so the delta carries the current one unchanged.
+        """
         return EngineStats(
             workers=self.workers,
             cells_submitted=self.cells_submitted - earlier.cells_submitted,
@@ -324,16 +334,21 @@ class EngineStats:
             wall_time=self.wall_time - earlier.wall_time,
             cell_wall_time=self.cell_wall_time - earlier.cell_wall_time,
             cell_cpu_time=self.cell_cpu_time - earlier.cell_cpu_time,
+            sim_events=self.sim_events - earlier.sim_events,
+            profile=self.profile,
         )
 
     def summary(self) -> str:
         util = self.worker_utilization
         util_s = f"{100.0 * util:.0f}%" if util == util else "-"
+        events_s = (
+            f", {self.sim_events:,} kernel events" if self.sim_events else ""
+        )
         return (
             f"{self.cells_submitted} cells ({self.cells_run} run, "
             f"{self.cache_hits} cached, {self.cell_errors} failed) in "
             f"{self.wall_time:.2f}s wall / {self.cell_cpu_time:.2f}s cpu, "
-            f"{self.workers} worker(s), {util_s} utilization"
+            f"{self.workers} worker(s), {util_s} utilization{events_s}"
         )
 
 
@@ -354,6 +369,8 @@ class _CellOutcome:
     exc: Optional[BaseException] = None
     wall: float = 0.0
     cpu: float = 0.0
+    #: Kernel profile of the run (plain dict; set only under REPRO_PROFILE).
+    profile: Optional[dict] = None
 
 
 def _run_cell(payload: Tuple[SimulationConfig, bool]) -> _CellOutcome:
@@ -378,6 +395,7 @@ def _run_cell(payload: Tuple[SimulationConfig, bool]) -> _CellOutcome:
     return _CellOutcome(
         ok=True, result=result,
         wall=time.perf_counter() - t0, cpu=time.process_time() - c0,
+        profile=take_last_profile(),
     )
 
 
@@ -471,6 +489,9 @@ class ExperimentEngine:
             self.stats.cells_run += 1
             self.stats.cell_wall_time += out.wall
             self.stats.cell_cpu_time += out.cpu
+            if out.profile is not None:
+                self.stats.profile = merge_profiles(self.stats.profile, out.profile)
+                self.stats.sim_events += out.profile["events"]
             if out.ok:
                 outcomes[i] = out.result
                 if key:

@@ -11,6 +11,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import os
 from typing import List, Optional
 
 from .adaptive import RegulatorConfig
@@ -50,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline run without the IS")
     parser.add_argument("--adaptive-budget", type=float, default=None,
                         help="enable overhead regulation at this CPU fraction")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a kernel profile of the run "
+                        "(where the simulator's wall time went)")
     return parser
 
 
@@ -113,8 +117,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
     runner = simulate_aggregated if args.aggregated else simulate
+    if args.profile:
+        os.environ["REPRO_PROFILE"] = "1"
     results = runner(config)
     print(format_results(results))
+    if args.profile:
+        from ..des.profiling import format_profile, take_last_profile
+
+        print(format_profile(take_last_profile()))
     return 0
 
 

@@ -130,7 +130,7 @@ class OverheadRegulator:
         env = self.ctx.env
         cfg = self.config
         while True:
-            yield env.timeout(cfg.control_interval)
+            yield env.hold(cfg.control_interval)
             util = self._observe()
             old_period = self.sampler.period
             old_batch = self._batch()

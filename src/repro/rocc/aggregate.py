@@ -110,7 +110,7 @@ class AggregatedParadynISSystem(ParadynISSystem):
         inter = self.streams.variates("phantom/main_inter", Exponential(1.0 / rate))
         net = self.streams.variates("phantom/main_net", cfg.workload.pd_network)
         while True:
-            yield env.timeout(inter())
+            yield env.hold(inter())
             batch = self._make_phantom_batch(node=1)
             # Fire-and-forget: phantom nodes transfer concurrently.
             self.network.transfer(
@@ -130,7 +130,7 @@ class AggregatedParadynISSystem(ParadynISSystem):
         inter = self.streams.variates("phantom/child_inter", Exponential(1.0 / rate))
         daemon = self.daemons[0]
         while True:
-            yield env.timeout(inter())
+            yield env.hold(inter())
             batch = self._make_phantom_batch(node=2)
             daemon.deliver(batch)
 

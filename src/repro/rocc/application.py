@@ -62,16 +62,25 @@ class ApplicationProcess:
     def _sampler(self):
         """Create one sample per sampling period (Figure 6's timer)."""
         env = self.ctx.env
+        hold = env.hold
         metrics = self.ctx.metrics
         node = self.ctx.node_id
+        pid = self.pid
+        due_append = self._due.append
+        state = self.sampler_state
+        if state is None:
+            # Static configuration: the period never changes, so the
+            # timer loop runs entirely on hoisted locals.
+            period = self.ctx.config.sampling_period
+            while True:
+                yield hold(period)
+                due_append(Sample(created_at=env.now, node=node, pid=pid))
+                metrics.samples_generated += 1
         while True:
-            period = (
-                self.sampler_state.period
-                if self.sampler_state is not None
-                else self.ctx.config.sampling_period
-            )
-            yield env.timeout(period)
-            self._due.append(Sample(created_at=env.now, node=node, pid=self.pid))
+            # Adaptive: the overhead regulator may change the period
+            # between ticks, so it is re-read each iteration.
+            yield hold(state.period)
+            due_append(Sample(created_at=env.now, node=node, pid=pid))
             metrics.samples_generated += 1
 
     def _run(self):

@@ -249,7 +249,7 @@ class ParadynDaemon:
         timeout = self.ctx.config.batch_flush_timeout
         try:
             while True:
-                yield env.timeout(timeout)
+                yield env.hold(timeout)
                 if self._batch and env.now - self._batch_started >= timeout:
                     yield from self._forward(self._take_batch())
         except Interrupt:
@@ -310,7 +310,7 @@ class ParadynDaemon:
                 delay = self._policy.backoff_delay(
                     current.attempts, self._backoff_rng
                 )
-                yield env.timeout(delay)
+                yield env.hold(delay)
                 current.cancelled = False
                 metrics.retransmissions += 1
                 # A retransmission repeats the forwarding system call.

@@ -19,8 +19,11 @@ paper reports, already averaged/normalized.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..des.monitor import Tally
 from ..workload.records import ProcessType
@@ -29,13 +32,26 @@ __all__ = ["Metrics", "SimulationResults"]
 
 
 class Metrics:
-    """Mutable accumulator attached to one simulation run."""
+    """Mutable accumulator attached to one simulation run.
+
+    The receipt path is the busiest metric site, so latencies are
+    buffered as raw floats (one list append each) and folded into their
+    :class:`~repro.des.monitor.Tally` objects lazily, the first time a
+    tally is read.  The fold replays values in arrival order, so means
+    and variances are bit-identical to eager observation.  The raw
+    series also makes order statistics (:meth:`latency_percentiles`)
+    available at finalize time, which a streaming tally cannot provide.
+    """
 
     def __init__(self) -> None:
         #: Forwarding-unit residence time (ready → receipt), µs.
-        self.latency_forwarding = Tally("latency_forwarding")
+        self._lat_fwd = Tally("latency_forwarding")
         #: Sample creation → receipt, incl. batch accumulation, µs.
-        self.latency_total = Tally("latency_total")
+        self._lat_total = Tally("latency_total")
+        self._lat_fwd_raw: List[float] = []
+        self._lat_total_raw: List[float] = []
+        self._lat_fwd_flushed = 0
+        self._lat_total_flushed = 0
         self.samples_generated = 0
         self.samples_received = 0
         self.batches_received = 0
@@ -77,6 +93,53 @@ class Metrics:
         """Restart all accumulators (used at the end of warmup)."""
         self.__init__()
 
+    # -- lazily-folded latency tallies ---------------------------------
+    def _flush_fwd(self) -> None:
+        raw = self._lat_fwd_raw
+        i = self._lat_fwd_flushed
+        if i < len(raw):
+            observe = self._lat_fwd.observe
+            for k in range(i, len(raw)):
+                observe(raw[k])
+            self._lat_fwd_flushed = len(raw)
+
+    def _flush_total(self) -> None:
+        raw = self._lat_total_raw
+        i = self._lat_total_flushed
+        if i < len(raw):
+            observe = self._lat_total.observe
+            for k in range(i, len(raw)):
+                observe(raw[k])
+            self._lat_total_flushed = len(raw)
+
+    @property
+    def latency_forwarding(self) -> Tally:
+        self._flush_fwd()
+        return self._lat_fwd
+
+    @latency_forwarding.setter
+    def latency_forwarding(self, tally: Tally) -> None:
+        # Values buffered so far belong to the tally being replaced.
+        self._flush_fwd()
+        self._lat_fwd = tally
+
+    @property
+    def latency_total(self) -> Tally:
+        self._flush_total()
+        return self._lat_total
+
+    @latency_total.setter
+    def latency_total(self, tally: Tally) -> None:
+        self._flush_total()
+        self._lat_total = tally
+
+    def latency_percentiles(self, qs=(50.0, 90.0, 99.0)) -> Dict[float, float]:
+        """Order statistics of the forwarding latency, from the raw series."""
+        if not self._lat_fwd_raw:
+            return {q: math.nan for q in qs}
+        values = np.percentile(np.asarray(self._lat_fwd_raw), qs)
+        return {q: float(v) for q, v in zip(qs, values)}
+
     def note_forward(self, node: int, n_samples: int) -> None:
         self.forwarded_by_node[node] = self.forwarded_by_node.get(node, 0) + n_samples
         self.forward_calls_by_node[node] = self.forward_calls_by_node.get(node, 0) + 1
@@ -86,8 +149,8 @@ class Metrics:
 
     def note_receipt(self, now: float, created_at: float, ready_at: float) -> None:
         self.samples_received += 1
-        self.latency_total.observe(now - created_at)
-        self.latency_forwarding.observe(now - ready_at)
+        self._lat_total_raw.append(now - created_at)
+        self._lat_fwd_raw.append(now - ready_at)
 
     def note_drop(self, node: int, n_samples: int, reason: str) -> None:
         """Account *n_samples* dropped at *node* for *reason*."""
@@ -134,6 +197,11 @@ class SimulationResults:
     # Latency / throughput.
     monitoring_latency_forwarding: float = float("nan")
     monitoring_latency_total: float = float("nan")
+    # Order statistics of the forwarding latency (µs), computed from the
+    # raw receipt series at finalize time.
+    monitoring_latency_p50: float = float("nan")
+    monitoring_latency_p90: float = float("nan")
+    monitoring_latency_p99: float = float("nan")
     throughput_per_daemon: float = 0.0  # samples forwarded / sec / daemon
     received_throughput: float = 0.0  # samples received at main / sec
 

@@ -146,17 +146,28 @@ class FIFONetwork(BaseNetwork):
         return len(self._queue)
 
     def _server(self):
+        # Hot loop: transfers sleep on the allocation-free ``env.hold``
+        # fast path, and back-to-back transfers skip the zero-width
+        # in_flight -1/+1 pair (no effect on the time integral).
         env = self.env
+        hold = env.hold
+        queue = self._queue
+        increment = self.in_flight.increment
+        busy = False
         while True:
-            if not self._queue:
+            if not queue:
+                if busy:
+                    increment(-1, env.now)
+                    busy = False
                 self._wake = Event(env)
                 yield self._wake
                 self._wake = None
                 continue
-            amount, owner, payload, deliver, done = self._queue.popleft()
-            self.in_flight.increment(+1, env.now)
-            yield env.timeout(amount)
-            self.in_flight.increment(-1, env.now)
+            amount, owner, payload, deliver, done = queue.popleft()
+            if not busy:
+                increment(+1, env.now)
+                busy = True
+            yield hold(amount)
             self._account(amount, owner)
             self._complete(payload, deliver, done)
 
@@ -192,8 +203,9 @@ class ContentionFreeNetwork(BaseNetwork):
         deliver: Optional[DeliverFn],
         done: Event,
     ):
-        self.in_flight.increment(+1, self.env.now)
-        yield self.env.timeout(amount)
-        self.in_flight.increment(-1, self.env.now)
+        env = self.env
+        self.in_flight.increment(+1, env.now)
+        yield env.hold(amount)
+        self.in_flight.increment(-1, env.now)
         self._account(amount, owner)
         self._complete(payload, deliver, done)

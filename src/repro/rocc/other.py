@@ -30,10 +30,11 @@ class PVMDaemon:
 
     def _run(self):
         env = self.ctx.env
+        hold = env.hold
         cpu = self.ctx.cpu
         network = self.ctx.network
         while True:
-            yield env.timeout(self._inter())
+            yield hold(self._inter())
             yield cpu.execute(self._cpu(), ProcessType.PVM_DAEMON)
             yield network.transfer(self._net(), ProcessType.PVM_DAEMON)
 
@@ -62,14 +63,16 @@ class OtherProcesses:
 
     def _cpu_loop(self):
         env = self.ctx.env
+        hold = env.hold
         cpu = self.ctx.cpu
         while True:
-            yield env.timeout(self._cpu_inter())
+            yield hold(self._cpu_inter())
             yield cpu.execute(self._cpu(), ProcessType.OTHER)
 
     def _net_loop(self):
         env = self.ctx.env
+        hold = env.hold
         network = self.ctx.network
         while True:
-            yield env.timeout(self._net_inter())
+            yield hold(self._net_inter())
             yield network.transfer(self._net(), ProcessType.OTHER)

@@ -128,7 +128,7 @@ class SamplePipe:
     def _stall_clock(self):
         started = self.env.now
         while self.env.now < self._stall_until:
-            yield self.env.timeout(self._stall_until - self.env.now)
+            yield self.env.hold(self._stall_until - self.env.now)
         self.stalled_time += self.env.now - started
         gate, self._stall_gate = self._stall_gate, None
         gate.succeed()

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..des.core import Environment
+from ..des.profiling import KernelProfiler, profile_enabled, set_last_profile
 from ..faults.injector import FaultInjector
 from ..variates.streams import StreamFactory
 from ..workload.records import ProcessType
@@ -275,11 +276,21 @@ class ParadynISSystem:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResults:
         cfg = self.config
-        self.env.run(
-            until=cfg.duration,
-            max_events=cfg.max_events,
-            max_wall_seconds=cfg.max_wall_seconds,
-        )
+        if profile_enabled():
+            profiler = KernelProfiler(self.env)
+            with profiler:
+                self.env.run(
+                    until=cfg.duration,
+                    max_events=cfg.max_events,
+                    max_wall_seconds=cfg.max_wall_seconds,
+                )
+            set_last_profile(profiler.report())
+        else:
+            self.env.run(
+                until=cfg.duration,
+                max_events=cfg.max_events,
+                max_wall_seconds=cfg.max_wall_seconds,
+            )
         return self._results()
 
     def _busy(self, cpu_index: int, owner: ProcessType) -> float:
@@ -352,6 +363,8 @@ class ParadynISSystem:
             if d.down and d._down_since is not None
         )
 
+        percentiles = m.latency_percentiles()
+
         return SimulationResults(
             config_summary=(
                 f"{cfg.architecture.value} n={n} T={cfg.sampling_period / 1e3:g}ms "
@@ -379,6 +392,9 @@ class ParadynISSystem:
             pd_network_utilization=pd_net_busy / duration,
             monitoring_latency_forwarding=m.latency_forwarding.mean,
             monitoring_latency_total=m.latency_total.mean,
+            monitoring_latency_p50=percentiles[50.0],
+            monitoring_latency_p90=percentiles[90.0],
+            monitoring_latency_p99=percentiles[99.0],
             throughput_per_daemon=(
                 forwarded / n_daemons / seconds if n_daemons else 0.0
             ),

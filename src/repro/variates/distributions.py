@@ -59,6 +59,16 @@ class Distribution(ABC):
     def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
         """Draw one value (``size=None``) or an array of ``size`` values."""
 
+    def sample_block(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw *n* values as a float64 array (the hot block-refill path).
+
+        Consumes exactly the same generator state as ``sample(rng, n)``,
+        so block-buffered and per-call sampling yield identical
+        sequences.  Subclasses whose vectorized draw is already a float64
+        ndarray override this to skip the ``asarray`` normalization.
+        """
+        return np.asarray(self.sample(rng, n), dtype=float)
+
     @abstractmethod
     def pdf(self, x: ArrayLike) -> ArrayLike:
         """Probability density at *x*."""
@@ -101,6 +111,10 @@ class Deterministic(Distribution):
             return self.value
         return np.full(size, self.value)
 
+    def sample_block(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # No randomness to draw; rng state is untouched either way.
+        return np.full(n, self.value)
+
     def pdf(self, x: ArrayLike) -> ArrayLike:
         x = np.asarray(x, dtype=float)
         return np.where(x == self.value, np.inf, 0.0)
@@ -133,6 +147,9 @@ class Uniform(Distribution):
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayLike:
         return rng.uniform(self.low, self.high, size)
+
+    def sample_block(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, n)
 
     def pdf(self, x: ArrayLike) -> ArrayLike:
         x = np.asarray(x, dtype=float)

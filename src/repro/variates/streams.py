@@ -122,9 +122,7 @@ class VariateStream:
         """Next variate."""
         buf = self._buf
         if buf is None or self._idx >= buf.shape[0]:
-            buf = np.asarray(
-                self.distribution.sample(self.rng, self.block), dtype=float
-            )
+            buf = self.distribution.sample_block(self.rng, self.block)
             self._buf = buf
             self._idx = 0
         value = buf[self._idx]
@@ -133,7 +131,7 @@ class VariateStream:
 
     def draw(self, n: int) -> np.ndarray:
         """Draw *n* variates as an array (bypasses the scalar buffer)."""
-        return np.asarray(self.distribution.sample(self.rng, n), dtype=float)
+        return self.distribution.sample_block(self.rng, n)
 
 
 class AntitheticStream:

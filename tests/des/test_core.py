@@ -36,9 +36,27 @@ def test_run_until_time_advances_clock_exactly(env):
     assert env.now == 100.0
 
 
-def test_run_until_must_be_in_future(env):
+def test_run_until_must_not_be_in_past(env):
     with pytest.raises(ValueError):
-        env.run(until=0.0)
+        env.run(until=-1.0)
+
+
+def test_run_until_now_is_noop(env):
+    """``until == now`` returns immediately (SimPy semantics)."""
+    assert env.run(until=0.0) is None
+    assert env.now == 0.0
+
+    def worker(env):
+        yield env.timeout(5.0)
+
+    env.process(worker(env))
+    env.run(until=5.0)
+    # The queue still holds events at t=5; an until==now run must not
+    # process them.
+    pending = len(env)
+    assert env.run(until=5.0) is None
+    assert env.now == 5.0
+    assert len(env) == pending
 
 
 def test_run_until_event_returns_value(env):
