@@ -83,9 +83,23 @@ class Tally:
         return self._max if self._n else math.nan
 
     def merge(self, other: "Tally") -> None:
-        """Fold *other*'s observations into this tally (parallel Welford)."""
+        """Fold *other*'s observations into this tally (parallel Welford).
+
+        Merging a tally into itself double-counts by design (it behaves
+        exactly like observing every value a second time).  Merging a
+        non-empty tally that did *not* retain its series into one that
+        does is an error: the retained series could no longer mirror the
+        observation stream, which would silently corrupt any order
+        statistics computed from it.
+        """
         if other._n == 0:
             return
+        if self.series is not None and other.series is None:
+            raise ValueError(
+                f"cannot merge {other.name or 'tally'!r} (no retained "
+                f"series) into {self.name or 'tally'!r} (keep_series=True): "
+                "the series would stop mirroring the observations"
+            )
         if self._n == 0:
             self._n = other._n
             self._mean = other._mean

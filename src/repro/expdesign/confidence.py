@@ -49,9 +49,17 @@ def mean_confidence_interval(
     from scipy.stats import t as t_dist
 
     arr = np.asarray(data, dtype=float)
+    # NaN/inf observations come from runs that produced no data for the
+    # metric (e.g. a latency series with zero samples); they carry no
+    # information about the mean, so exclude them rather than letting a
+    # single NaN poison the whole interval.
+    arr = arr[np.isfinite(arr)]
     n = arr.size
     if n < 2:
-        raise ValueError("need at least two observations for a CI")
+        raise ValueError(
+            f"need at least two finite observations for a CI, got {n} "
+            f"(of {len(data)} supplied)"
+        )
     if not 0 < level < 1:
         raise ValueError("level must be in (0, 1)")
     mean = float(arr.mean())

@@ -114,6 +114,19 @@ class MeanResults:
         """Per-repetition values of one metric."""
         return [getattr(r, name) for r in self.results]
 
+    def mean_ci(self, name: str, level: float = 0.90):
+        """t-based CI of one metric over the successful replications.
+
+        Failed replications (``errors``) never contribute — they hold no
+        results — and non-finite per-rep values are excluded the same way
+        the plain means drop NaN.  Raises ``ValueError`` when fewer than
+        two finite observations remain (a CI from one point is
+        meaningless, not zero-width).
+        """
+        from ..expdesign.confidence import mean_confidence_interval
+
+        return mean_confidence_interval(self.raw(name), level=level)
+
     # Derived conveniences mirroring SimulationResults.
     @property
     def pd_cpu_seconds_per_node(self) -> float:

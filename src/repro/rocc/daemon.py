@@ -176,7 +176,7 @@ class ParadynDaemon:
         metrics = self.ctx.metrics
         metrics.daemon_crashes += 1
         if self._batch:
-            self._drop(len(self._batch), "crash")
+            self._drop(self._batch, "crash")
             self._batch = []
         procs, self._procs = self._procs, []
         for proc in procs:
@@ -194,8 +194,8 @@ class ParadynDaemon:
         self._await_recovery = True
         self._spawn_loops()
 
-    def _drop(self, n_samples: int, reason: str) -> None:
-        self.ctx.metrics.note_drop(self.ctx.node_id, n_samples, reason)
+    def _drop(self, samples, reason: str) -> None:
+        self.ctx.metrics.note_drop_samples(self.ctx.node_id, samples, reason)
 
     # ------------------------------------------------------------------
     # Worker loops
@@ -240,7 +240,7 @@ class ParadynDaemon:
             if ev is not None and not ev.triggered and hasattr(ev, "cancel"):
                 ev.cancel()
             if pending:
-                self._drop(len(pending), "crash")
+                self._drop(pending, "crash")
             return
 
     def _flush_loop(self):
@@ -289,7 +289,7 @@ class ParadynDaemon:
             if ev is not None and not ev.triggered and hasattr(ev, "cancel"):
                 ev.cancel()
             if current is not None:
-                self._drop(len(current.samples), "crash")
+                self._drop(current.samples, "crash")
             return
 
     def _retry_loop(self):
@@ -325,9 +325,9 @@ class ParadynDaemon:
                     self._handle_send_failure(batch, deliver)
         except Interrupt:
             if current is not None:
-                self._drop(len(current.samples), "crash")
+                self._drop(current.samples, "crash")
             for batch, _deliver in self._resend:
-                self._drop(len(batch.samples), "crash")
+                self._drop(batch.samples, "crash")
             self._resend.clear()
             self._resend_wake = None
             return
@@ -358,7 +358,7 @@ class ParadynDaemon:
         try:
             yield ctx.cpu.execute(cpu_cost, ProcessType.PARADYN_DAEMON)
         except Interrupt:
-            self._drop(n, "crash")
+            self._drop(batch.samples, "crash")
             self._inflight = None
             raise
         self._inflight = None
@@ -440,19 +440,19 @@ class ParadynDaemon:
                     ev.callbacks.remove(att.cond._check)
                 except ValueError:  # pragma: no cover - already detached
                     pass
-        self._drop(len(batch.samples), "crash")
+        self._drop(batch.samples, "crash")
 
     def _handle_send_failure(self, batch: Batch, deliver: DeliverFn) -> None:
         """Route a failed forward through the recovery policy."""
         policy = self._policy
         if policy is None or policy.max_retries == 0:
-            self._drop(len(batch.samples), "loss")
+            self._drop(batch.samples, "loss")
             return
         if batch.attempts >= policy.max_retries:
-            self._drop(len(batch.samples), "loss")
+            self._drop(batch.samples, "loss")
             return
         if len(self._resend) >= policy.resend_queue_limit:
-            self._drop(len(batch.samples), "overflow")
+            self._drop(batch.samples, "overflow")
             return
         self._resend.append((batch, deliver))
         if self._resend_wake is not None and not self._resend_wake.triggered:

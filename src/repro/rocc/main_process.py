@@ -66,12 +66,17 @@ class MainParadynProcess:
             # Checksum failure: the message arrived but its payload is
             # garbage.  Discard with accounting — the sender believes
             # the forward succeeded, so nobody retransmits.
-            metrics.note_drop(batch.origin, len(batch.samples), "corrupt")
+            metrics.note_drop_samples(batch.origin, batch.samples, "corrupt")
             self.inbox.put(batch)  # still pays the receive system call
             return
-        metrics.batches_received += 1
+        counted = 0
         for sample in batch.samples:
-            metrics.note_receipt(now, sample.created_at, batch.sent_at)
+            if metrics.note_receipt(now, sample.created_at, batch.sent_at):
+                counted += 1
+        # A batch made entirely of pre-warmup samples belongs to the
+        # discarded transient, like its samples.
+        if counted:
+            metrics.batches_received += 1
         self.inbox.put(batch)
 
     def _run(self):

@@ -44,6 +44,13 @@ class Metrics:
     """
 
     def __init__(self) -> None:
+        #: Measurement epoch: samples created before this simulation time
+        #: are invisible to receipt/drop accounting.  Set by
+        #: :meth:`reset` at the warmup boundary so that samples generated
+        #: before warmup but delivered after it are counted on *neither*
+        #: side of the conservation equation (generated = received +
+        #: dropped + in-flight).
+        self.epoch = 0.0
         #: Forwarding-unit residence time (ready → receipt), µs.
         self._lat_fwd = Tally("latency_forwarding")
         #: Sample creation → receipt, incl. batch accumulation, µs.
@@ -89,9 +96,14 @@ class Metrics:
         #: Crash → first successful forward after restart, µs.
         self.recovery_latency = Tally("recovery_latency")
 
-    def reset(self) -> None:
-        """Restart all accumulators (used at the end of warmup)."""
+    def reset(self, now: float = 0.0) -> None:
+        """Restart all accumulators (used at the end of warmup).
+
+        *now* becomes the new measurement :attr:`epoch`: samples created
+        before it no longer count as received or dropped.
+        """
         self.__init__()
+        self.epoch = float(now)
 
     # -- lazily-folded latency tallies ---------------------------------
     def _flush_fwd(self) -> None:
@@ -119,9 +131,14 @@ class Metrics:
 
     @latency_forwarding.setter
     def latency_forwarding(self, tally: Tally) -> None:
-        # Values buffered so far belong to the tally being replaced.
+        # Values buffered so far belong to the tally being replaced, and
+        # so does the raw series: restarting it keeps
+        # :meth:`latency_percentiles` consistent with the new tally
+        # instead of mixing observations across the replacement.
         self._flush_fwd()
         self._lat_fwd = tally
+        self._lat_fwd_raw = []
+        self._lat_fwd_flushed = 0
 
     @property
     def latency_total(self) -> Tally:
@@ -132,12 +149,41 @@ class Metrics:
     def latency_total(self, tally: Tally) -> None:
         self._flush_total()
         self._lat_total = tally
+        self._lat_total_raw = []
+        self._lat_total_flushed = 0
 
     def latency_percentiles(self, qs=(50.0, 90.0, 99.0)) -> Dict[float, float]:
-        """Order statistics of the forwarding latency, from the raw series."""
+        """Order statistics of the forwarding latency, from the raw series.
+
+        Raises :class:`ValueError` instead of silently returning garbage
+        when the raw series cannot support the request: quantiles outside
+        [0, 100], a series containing non-finite values, or a series that
+        has fallen out of sync with the forwarding tally (someone observed
+        the tally directly, bypassing :meth:`note_receipt`).  An empty
+        series (no samples received) yields NaNs, the explicit
+        "no data" flag.
+        """
+        if any(not 0.0 <= q <= 100.0 for q in qs):
+            raise ValueError(f"quantiles must lie in [0, 100]: {qs}")
         if not self._lat_fwd_raw:
+            if self._lat_fwd.count > 0:
+                raise ValueError(
+                    "forwarding-latency tally holds observations the raw "
+                    "series never saw; percentiles would not describe the "
+                    "same data (observe via note_receipt, not the tally)"
+                )
             return {q: math.nan for q in qs}
-        values = np.percentile(np.asarray(self._lat_fwd_raw), qs)
+        self._flush_fwd()
+        if self._lat_fwd.count != len(self._lat_fwd_raw):
+            raise ValueError(
+                "raw latency series out of sync with the forwarding tally "
+                f"({len(self._lat_fwd_raw)} raw vs {self._lat_fwd.count} "
+                "tallied); percentiles would mix data sets"
+            )
+        arr = np.asarray(self._lat_fwd_raw)
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("non-finite forwarding latency observed")
+        values = np.percentile(arr, qs)
         return {q: float(v) for q, v in zip(qs, values)}
 
     def note_forward(self, node: int, n_samples: int) -> None:
@@ -147,10 +193,19 @@ class Metrics:
     def note_merge(self, node: int) -> None:
         self.merges_by_node[node] = self.merges_by_node.get(node, 0) + 1
 
-    def note_receipt(self, now: float, created_at: float, ready_at: float) -> None:
+    def note_receipt(self, now: float, created_at: float, ready_at: float) -> bool:
+        """Record one sample's receipt; returns whether it was counted.
+
+        Samples created before the measurement :attr:`epoch` (i.e. before
+        the warmup boundary) are ignored — they were never counted as
+        generated, so counting their receipt would break conservation.
+        """
+        if created_at < self.epoch:
+            return False
         self.samples_received += 1
         self._lat_total_raw.append(now - created_at)
         self._lat_fwd_raw.append(now - ready_at)
+        return True
 
     def note_drop(self, node: int, n_samples: int, reason: str) -> None:
         """Account *n_samples* dropped at *node* for *reason*."""
@@ -158,6 +213,13 @@ class Metrics:
         self.drops_by_reason[reason] = (
             self.drops_by_reason.get(reason, 0) + n_samples
         )
+
+    def note_drop_samples(self, node: int, samples, reason: str) -> None:
+        """Account dropped *samples* (epoch-filtered, see note_receipt)."""
+        epoch = self.epoch
+        n = sum(1 for s in samples if s.created_at >= epoch)
+        if n:
+            self.note_drop(node, n, reason)
 
 
 @dataclass

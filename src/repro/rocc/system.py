@@ -267,9 +267,10 @@ class ParadynISSystem:
         snap.pipe_blocked_time = sum(p.blocked_time for p in self.pipes)
         snap.pipe_blocked_puts = sum(p.blocked_puts for p in self.pipes)
         # Counters and tallies restart cleanly; samples generated before
-        # warmup but received after it are simply not counted on either
-        # side, the standard batch-means choice.
-        self.metrics.reset()
+        # warmup but received (or dropped) after it are not counted on
+        # either side — the epoch passed to reset() makes receipt/drop
+        # accounting skip them, preserving sample conservation.
+        self.metrics.reset(now=now)
 
     # ------------------------------------------------------------------
     # Execution and results

@@ -1,0 +1,206 @@
+"""Differential verification: one config, two execution paths, no diff.
+
+The simulator carries several knobs that change *how* a run executes
+but promise not to change *what* it computes:
+
+* ``REPRO_DES_FASTPATH`` — the DES kernel's hold/pooling/inline fast
+  path vs the generic event loop;
+* the kernel watchdog — ``max_events`` forces the ``step()`` loop
+  instead of the inlined ``_run_inner``;
+* engine workers — process-pool scheduling vs the serial loop;
+* the cell cache — a result loaded from disk vs freshly computed;
+* a BF flush timeout under batch size 1 — the flush loop can never see
+  a non-empty batch, so enabling it must be a no-op.
+
+Each checker here executes both sides of one such promise and diffs the
+:class:`SimulationResults` field by field (NaN == NaN); any difference
+is a :class:`~repro.verify.report.Violation` naming the field.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import fields
+from math import isnan
+from typing import Iterable, List, Optional
+
+from ..experiments.engine import CellCache, ExperimentEngine
+from ..rocc.config import SimulationConfig
+from ..rocc.metrics import SimulationResults
+from ..rocc.system import simulate
+from .report import Violation
+
+__all__ = [
+    "diff_results",
+    "check_fastpath",
+    "check_watchdog",
+    "check_workers",
+    "check_cache",
+    "check_bf_flush_noop",
+    "differential_checks",
+]
+
+
+def diff_results(
+    a: SimulationResults,
+    b: SimulationResults,
+    ignore: Iterable[str] = (),
+) -> List[str]:
+    """Field-by-field differences between two results (NaN == NaN)."""
+    skip = frozenset(ignore)
+    diffs: List[str] = []
+    for f in fields(a):
+        if f.name in skip:
+            continue
+        x, y = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(x, float) and isinstance(y, float):
+            if x == y or (isnan(x) and isnan(y)):
+                continue
+        elif x == y:
+            continue
+        diffs.append(f"{f.name}: {x!r} != {y!r}")
+    return diffs
+
+
+def _subject(config: SimulationConfig) -> str:
+    return (
+        f"{config.architecture.value} n={config.nodes} "
+        f"b={config.batch_size} seed={config.seed}"
+    )
+
+
+def _diff_violation(invariant: str, config: SimulationConfig,
+                    diffs: List[str], what: str) -> Violation:
+    shown = "; ".join(diffs[:4])
+    more = f" (+{len(diffs) - 4} more fields)" if len(diffs) > 4 else ""
+    return Violation(
+        invariant=invariant,
+        detail=f"{what} changed the results: {shown}{more}",
+        subject=_subject(config),
+    )
+
+
+def _simulate_with_env(config: SimulationConfig, var: str,
+                       value: str) -> SimulationResults:
+    """Run one simulation with an environment knob pinned, then restore."""
+    old = os.environ.get(var)
+    os.environ[var] = value
+    try:
+        return simulate(config)
+    finally:
+        if old is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = old
+
+
+def check_fastpath(config: SimulationConfig) -> List[Violation]:
+    """Fast-path kernel vs the generic kernel: bit-identical results."""
+    fast = _simulate_with_env(config, "REPRO_DES_FASTPATH", "1")
+    generic = _simulate_with_env(config, "REPRO_DES_FASTPATH", "0")
+    diffs = diff_results(fast, generic)
+    if diffs:
+        return [_diff_violation(
+            "differential.fastpath", config, diffs,
+            "REPRO_DES_FASTPATH=0 vs 1",
+        )]
+    return []
+
+
+def check_watchdog(config: SimulationConfig) -> List[Violation]:
+    """Watchdog-instrumented ``step()`` loop vs the inlined run loop.
+
+    A ``max_events`` budget far above what the run needs must not change
+    anything — only the dispatch loop differs.
+    """
+    plain = simulate(config)
+    watched = simulate(config.with_(max_events=1_000_000_000))
+    diffs = diff_results(plain, watched)
+    if diffs:
+        return [_diff_violation(
+            "differential.watchdog", config, diffs,
+            "enabling the event-count watchdog",
+        )]
+    return []
+
+
+def check_workers(config: SimulationConfig,
+                  repetitions: int = 2) -> List[Violation]:
+    """Serial engine vs a two-worker process pool: identical cells."""
+    reps = [
+        config.with_(replication=config.replication + i)
+        for i in range(repetitions)
+    ]
+    no_cache = CellCache(enabled=False)
+    with ExperimentEngine(workers=1, cache=no_cache) as serial:
+        expected = serial.run_cells(reps)
+    with ExperimentEngine(workers=2, cache=no_cache) as pool:
+        actual = pool.run_cells(reps)
+    out: List[Violation] = []
+    for i, (e, a) in enumerate(zip(expected, actual)):
+        diffs = diff_results(e, a)
+        if diffs:
+            out.append(_diff_violation(
+                "differential.workers", reps[i], diffs,
+                f"running replication {i} on a worker pool",
+            ))
+    return out
+
+
+def check_cache(config: SimulationConfig,
+                cache_root: Optional[str] = None) -> List[Violation]:
+    """Cold compute-and-store vs warm load: the pickle round-trip is
+    exact."""
+    created = cache_root is None
+    root = cache_root or tempfile.mkdtemp(prefix="repro-verify-cache-")
+    try:
+        cache = CellCache(root=root, enabled=True)
+        with ExperimentEngine(workers=1, cache=cache) as engine:
+            (cold,) = engine.run_cells([config])
+            (warm,) = engine.run_cells([config])
+        diffs = diff_results(cold, warm)
+        if diffs:
+            return [_diff_violation(
+                "differential.cache", config, diffs,
+                "reloading the run from the cell cache",
+            )]
+        return []
+    finally:
+        if created:
+            import shutil
+
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def check_bf_flush_noop(config: SimulationConfig) -> List[Violation]:
+    """Under CF (batch size 1) a flush timeout must change nothing.
+
+    The collect loop forwards each sample in the same step that batches
+    it, so the flush loop never observes a partial batch; its only
+    footprint is extra timer events, which must not perturb the model.
+    """
+    cf = simulate(config.with_(batch_size=1, batch_flush_timeout=None))
+    bf1 = simulate(config.with_(batch_size=1, batch_flush_timeout=50_000.0))
+    diffs = diff_results(cf, bf1)
+    if diffs:
+        return [_diff_violation(
+            "differential.bf_flush_noop", config, diffs,
+            "a flush timeout under batch size 1",
+        )]
+    return []
+
+
+def differential_checks(
+    config: SimulationConfig,
+    include_workers: bool = True,
+) -> List[Violation]:
+    """Every differential check for one configuration."""
+    out: List[Violation] = []
+    out.extend(check_fastpath(config))
+    out.extend(check_watchdog(config))
+    out.extend(check_cache(config))
+    out.extend(check_bf_flush_noop(config))
+    if include_workers:
+        out.extend(check_workers(config))
+    return out

@@ -1,0 +1,81 @@
+"""Violation records and the report a verification pass produces.
+
+Every checker in :mod:`repro.verify` speaks the same small vocabulary: a
+check either passes silently or yields :class:`Violation` records; a
+:class:`VerificationReport` collects them together with a count of the
+checks that ran, so "0 violations" can be told apart from "0 checks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Violation", "VerificationReport"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant / law / equivalence, with its evidence.
+
+    ``invariant`` is a stable dotted identifier (e.g.
+    ``conservation.sample_balance``) that tests and the CLI grep for;
+    ``detail`` is the human-readable evidence with the numbers in it.
+    """
+
+    invariant: str
+    detail: str
+    #: What was being verified (config summary, check label, ...).
+    subject: str = ""
+    #: Measured values backing the finding, for programmatic triage.
+    observed: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        where = f" [{self.subject}]" if self.subject else ""
+        return f"{self.invariant}{where}: {self.detail}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification pass."""
+
+    violations: List[Violation] = field(default_factory=list)
+    checks_run: int = 0
+    #: Optional per-section check counts for the CLI summary.
+    sections: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.checks_run > 0
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def extend(self, violations, section: Optional[str] = None,
+               checks: int = 1) -> None:
+        """Fold one checker's output (a violation list) into the report."""
+        self.violations.extend(violations)
+        self.checks_run += checks
+        if section:
+            self.sections[section] = self.sections.get(section, 0) + checks
+
+    def merge(self, other: "VerificationReport") -> None:
+        self.violations.extend(other.violations)
+        self.checks_run += other.checks_run
+        for k, v in other.sections.items():
+            self.sections[k] = self.sections.get(k, 0) + v
+
+    def format(self) -> str:
+        lines = []
+        if self.sections:
+            per = ", ".join(f"{k}={v}" for k, v in sorted(self.sections.items()))
+            lines.append(f"checks run: {self.checks_run} ({per})")
+        else:
+            lines.append(f"checks run: {self.checks_run}")
+        if not self.violations:
+            lines.append("all invariants hold")
+        else:
+            lines.append(f"{len(self.violations)} violation(s):")
+            for v in self.violations:
+                lines.append(f"  FAIL {v}")
+        return "\n".join(lines)

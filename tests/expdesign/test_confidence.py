@@ -83,3 +83,21 @@ def test_repetitions_needed_validation(rng):
 def test_repetitions_at_least_pilot_size(rng):
     pilot = rng.normal(100.0, 0.001, 25)
     assert repetitions_needed(pilot, 0.5) == 25
+
+
+def test_nonfinite_observations_excluded():
+    clean = mean_confidence_interval([1.0, 2.0, 3.0])
+    noisy = mean_confidence_interval(
+        [1.0, float("nan"), 2.0, float("inf"), 3.0]
+    )
+    assert noisy.mean == pytest.approx(clean.mean)
+    assert noisy.low == pytest.approx(clean.low)
+    assert noisy.high == pytest.approx(clean.high)
+    assert noisy.n == 3
+
+
+def test_too_few_finite_observations_raise():
+    with pytest.raises(ValueError, match="finite"):
+        mean_confidence_interval([1.0, float("nan"), float("nan")])
+    with pytest.raises(ValueError, match="finite"):
+        mean_confidence_interval([float("nan")] * 5)

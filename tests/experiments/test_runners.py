@@ -109,3 +109,31 @@ def test_common_random_numbers_across_levels(cfg):
     a = replicate(cfg.with_(batch_size=1), repetitions=1)
     b = replicate(cfg.with_(batch_size=8), repetitions=1)
     assert a.results[0].samples_generated == b.results[0].samples_generated
+
+
+def test_mean_ci_matches_confidence_helper(cfg):
+    from repro.expdesign import mean_confidence_interval
+
+    res = replicate(cfg, repetitions=3)
+    ci = res.mean_ci("pd_cpu_time_per_node")
+    expected = mean_confidence_interval(res.raw("pd_cpu_time_per_node"))
+    assert ci.mean == pytest.approx(expected.mean)
+    assert ci.low == pytest.approx(expected.low)
+    assert ci.high == pytest.approx(expected.high)
+    assert ci.n == 3
+
+
+def test_mean_ci_excludes_nan_reps(cfg):
+    # One rep per value of a metric that is NaN in every rep would fail;
+    # mix finite and NaN by combining different batch sizes manually.
+    finite = replicate(cfg, repetitions=3)
+    nan_rep = replicate(cfg.with_(batch_size=1000), repetitions=1)
+    combined = MeanResults(finite.results + nan_rep.results)
+    ci = combined.mean_ci("monitoring_latency_forwarding")
+    assert ci.n == 3  # the NaN rep dropped out
+
+
+def test_mean_ci_needs_two_finite_reps(cfg):
+    res = replicate(cfg.with_(batch_size=1000), repetitions=2)
+    with pytest.raises(ValueError, match="finite"):
+        res.mean_ci("monitoring_latency_forwarding")

@@ -84,3 +84,73 @@ def test_percentiles_populated_and_ordered(monkeypatch, arch):
         <= r.monitoring_latency_p90
         <= r.monitoring_latency_p99
     )
+
+
+def test_watchdog_step_loop_bit_identical(monkeypatch):
+    """A generous max_events budget routes dispatch through the
+    watchdog's step() loop; results must not change, under either
+    kernel."""
+    cfg = SimulationConfig(nodes=2, duration=2_000_000.0, seed=5)
+    monkeypatch.setenv("REPRO_DES_FASTPATH", "1")
+    plain = simulate(cfg)
+    watched = simulate(cfg.with_(max_events=1_000_000_000))
+    assert plain.samples_received > 0
+    assert results_equal(plain, watched)
+    monkeypatch.setenv("REPRO_DES_FASTPATH", "0")
+    generic_watched = simulate(cfg.with_(max_events=1_000_000_000))
+    assert results_equal(plain, generic_watched)
+
+
+def test_wall_clock_watchdog_bit_identical(monkeypatch):
+    cfg = SimulationConfig(nodes=2, duration=1_000_000.0, seed=6)
+    fast, generic = _both_kernels(
+        monkeypatch, cfg.with_(max_wall_seconds=3600.0)
+    )
+    assert fast.samples_received > 0
+    assert results_equal(fast, generic)
+
+
+def test_active_recovery_bit_identical(monkeypatch):
+    """Retries must actually fire: heavy loss + retry budget exercises
+    the backoff/retransmission path under both kernels."""
+    plan = FaultPlan((NetworkFault(loss_probability=0.4),))
+    cfg = SimulationConfig(
+        nodes=2,
+        duration=2_000_000.0,
+        sampling_period=10_000.0,
+        include_pvmd=False,
+        include_other=False,
+        faults=plan,
+        recovery=RecoveryPolicy(max_retries=3, backoff_base=500.0),
+        seed=13,
+    )
+    fast, generic = _both_kernels(monkeypatch, cfg)
+    assert fast.retransmissions > 0  # the recovery path really ran
+    assert fast.samples_received > 0
+    assert results_equal(fast, generic)
+
+
+def test_recovery_with_watchdog_bit_identical(monkeypatch):
+    """Fault plan + active recovery + watchdog all at once — the
+    fully-instrumented dispatch path on the busiest model."""
+    plan = FaultPlan(
+        (
+            DaemonCrash(node=1, at=500_000.0, restart_after=200_000.0),
+            NetworkFault(loss_probability=0.3),
+        )
+    )
+    cfg = SimulationConfig(
+        nodes=2,
+        duration=2_000_000.0,
+        sampling_period=10_000.0,
+        include_pvmd=False,
+        include_other=False,
+        faults=plan,
+        recovery=RecoveryPolicy(max_retries=2),
+        max_events=1_000_000_000,
+        seed=21,
+    )
+    fast, generic = _both_kernels(monkeypatch, cfg)
+    assert fast.daemon_crashes == 1
+    assert fast.retransmissions > 0
+    assert results_equal(fast, generic)

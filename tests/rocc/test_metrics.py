@@ -44,6 +44,81 @@ class TestMetrics:
         assert m.forwarded_by_node == {}
 
 
+class TestEpochFiltering:
+    def test_pre_epoch_receipt_not_counted(self):
+        m = Metrics()
+        m.reset(now=100.0)
+        assert m.note_receipt(now=150.0, created_at=50.0, ready_at=120.0) is False
+        assert m.samples_received == 0
+        assert m.note_receipt(now=150.0, created_at=100.0, ready_at=120.0) is True
+        assert m.samples_received == 1
+
+    def test_note_drop_samples_filters_by_epoch(self):
+        class FakeSample:
+            def __init__(self, created_at):
+                self.created_at = created_at
+
+        m = Metrics()
+        m.reset(now=100.0)
+        m.note_drop_samples(0, [FakeSample(50.0), FakeSample(150.0)], "loss")
+        assert m.samples_dropped == 1
+        assert m.drops_by_reason == {"loss": 1}
+
+
+class TestLatencyPercentiles:
+    def test_empty_is_nan(self):
+        ps = Metrics().latency_percentiles()
+        assert all(math.isnan(v) for v in ps.values())
+
+    def test_values_match_numpy(self):
+        import numpy as np
+
+        m = Metrics()
+        for i in range(100):
+            m.note_receipt(now=float(i), created_at=0.0, ready_at=0.0)
+        ps = m.latency_percentiles()
+        raw = [float(i) for i in range(100)]
+        assert ps[90.0] == pytest.approx(np.percentile(raw, 90.0))
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            Metrics().latency_percentiles(qs=(50.0, 101.0))
+
+    def test_rejects_tally_observed_behind_raw_series(self):
+        m = Metrics()
+        m.latency_forwarding.observe(5.0)  # bypasses note_receipt
+        with pytest.raises(ValueError, match="never saw"):
+            m.latency_percentiles()
+
+    def test_rejects_desynced_series(self):
+        m = Metrics()
+        m.note_receipt(now=10.0, created_at=0.0, ready_at=5.0)
+        _ = m.latency_forwarding  # flush
+        m.latency_forwarding.observe(7.0)  # extra direct observation
+        with pytest.raises(ValueError, match="out of sync"):
+            m.latency_percentiles()
+
+    def test_rejects_non_finite_latency(self):
+        m = Metrics()
+        m.note_receipt(now=math.inf, created_at=0.0, ready_at=0.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            m.latency_percentiles()
+
+    def test_setter_restarts_raw_series(self):
+        from repro.des.monitor import Tally
+
+        m = Metrics()
+        m.note_receipt(now=10.0, created_at=0.0, ready_at=5.0)
+        m.latency_forwarding = Tally("replacement")
+        # The raw series belonging to the replaced tally is gone: no
+        # stale percentiles, and new receipts stay in sync.
+        ps = m.latency_percentiles()
+        assert all(math.isnan(v) for v in ps.values())
+        m.note_receipt(now=20.0, created_at=0.0, ready_at=12.0)
+        assert m.latency_percentiles()[50.0] == 8.0
+        assert m.latency_forwarding.count == 1
+
+
 def make_results(**kw):
     base = dict(
         config_summary="test",

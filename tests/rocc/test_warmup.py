@@ -60,3 +60,29 @@ def test_utilizations_similar_with_and_without_warmup():
     assert warm.pd_cpu_utilization_per_node == pytest.approx(
         full.pd_cpu_utilization_per_node, rel=0.15
     )
+
+
+def test_sample_conservation_with_warmup():
+    """Samples generated pre-warmup but delivered post-warmup count on
+    *neither* side: received + dropped never exceeds generated."""
+    for seed in (1, 7, 11, 83):
+        r = simulate(cfg(seed=seed, warmup=500_000.0))
+        in_flight = r.samples_generated - r.samples_received - r.samples_dropped
+        assert in_flight >= 0, (
+            f"seed={seed}: generated={r.samples_generated} "
+            f"received={r.samples_received} dropped={r.samples_dropped}"
+        )
+
+
+def test_sample_conservation_with_faults_and_warmup():
+    from repro.faults import DaemonCrash, FaultPlan, NetworkFault, RecoveryPolicy
+
+    plan = FaultPlan((
+        DaemonCrash(node=1, at=800_000.0, restart_after=300_000.0),
+        NetworkFault(loss_probability=0.05, start=600_000.0, stop=1_500_000.0),
+    ))
+    for seed in (1, 7, 11):
+        r = simulate(cfg(seed=seed, warmup=500_000.0, faults=plan,
+                         recovery=RecoveryPolicy(max_retries=1)))
+        in_flight = r.samples_generated - r.samples_received - r.samples_dropped
+        assert in_flight >= 0, f"seed={seed}: in-flight {in_flight}"

@@ -1,0 +1,73 @@
+"""Differential runners: flipped knobs leave results bit-identical."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.rocc import SimulationConfig, simulate
+from repro.verify import (
+    check_bf_flush_noop,
+    check_cache,
+    check_fastpath,
+    check_watchdog,
+    check_workers,
+    diff_results,
+)
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return SimulationConfig(nodes=2, duration=600_000.0,
+                            sampling_period=20_000.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def small_results(small_config):
+    return simulate(small_config)
+
+
+def test_diff_results_identical(small_results):
+    assert diff_results(small_results, small_results) == []
+
+
+def test_diff_results_nan_equals_nan(small_results):
+    a = dataclasses.replace(small_results, recovery_latency=math.nan)
+    b = dataclasses.replace(small_results, recovery_latency=math.nan)
+    assert diff_results(a, b) == []
+
+
+def test_diff_results_reports_changed_field(small_results):
+    changed = dataclasses.replace(
+        small_results, samples_received=small_results.samples_received + 1
+    )
+    diffs = diff_results(small_results, changed)
+    assert len(diffs) == 1 and diffs[0].startswith("samples_received")
+
+
+def test_diff_results_honors_ignore(small_results):
+    changed = dataclasses.replace(
+        small_results, samples_received=small_results.samples_received + 1
+    )
+    assert diff_results(small_results, changed,
+                        ignore=("samples_received",)) == []
+
+
+def test_fastpath_equivalence(small_config):
+    assert check_fastpath(small_config) == []
+
+
+def test_watchdog_equivalence(small_config):
+    assert check_watchdog(small_config) == []
+
+
+def test_bf_flush_noop(small_config):
+    assert check_bf_flush_noop(small_config) == []
+
+
+def test_cache_roundtrip(small_config, tmp_path):
+    assert check_cache(small_config, cache_root=str(tmp_path)) == []
+
+
+def test_workers_equivalence(small_config):
+    assert check_workers(small_config, repetitions=2) == []
