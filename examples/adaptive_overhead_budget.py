@@ -17,6 +17,14 @@ Run:
     python examples/adaptive_overhead_budget.py
 """
 
+import os
+
+# Smoke tests set REPRO_EXAMPLE_QUICK=1 to shrink the simulated time so
+# every example finishes in well under a second.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip().lower() in (
+    "1", "on", "true", "yes",
+)
+
 from repro.rocc import (
     ParadynISSystem,
     RegulatorConfig,
@@ -30,7 +38,7 @@ def main() -> None:
         nodes=2,
         sampling_period=1_000.0,  # 1 ms: brutal under CF
         batch_size=1,
-        duration=10_000_000.0,  # 10 s
+        duration=(1_000_000.0 if QUICK else 10_000_000.0),  # 10 s
         seed=44,
     )
     budget = 0.01
@@ -55,7 +63,8 @@ def main() -> None:
         final_batch = system.daemons[0].batch_size
         # Overhead over the final controlled window, not the whole run
         # (the run average includes the pre-convergence transient).
-        tail = [d for d in regulator.decisions if d.time > 5_000_000.0]
+        tail_start = base.duration / 2
+        tail = [d for d in regulator.decisions if d.time > tail_start]
         tail_util = sum(d.observed_utilization for d in tail) / len(tail)
         print(f"Adaptive ({label}):")
         print(f"  decisions taken         : {len(regulator.decisions)} "

@@ -11,16 +11,24 @@ Run:
     python examples/batch_size_tuning.py
 """
 
+import os
+
+# Smoke tests set REPRO_EXAMPLE_QUICK=1 to shrink the simulated time so
+# every example finishes in well under a second.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip().lower() in (
+    "1", "on", "true", "yes",
+)
+
 from repro.analytical import NOWAnalyticalModel
 from repro.rocc import NetworkMode, SimulationConfig, simulate
 
 
 def main() -> None:
-    batches = [1, 2, 4, 8, 16, 32, 64]
+    batches = [1, 2, 4] if QUICK else [1, 2, 4, 8, 16, 32, 64]
     base = SimulationConfig(
         nodes=8,
         sampling_period=20_000.0,
-        duration=6_000_000.0,
+        duration=(1_000_000.0 if QUICK else 6_000_000.0),
         network_mode=NetworkMode.CONTENTION_FREE,
         seed=12,
     )

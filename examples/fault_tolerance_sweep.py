@@ -23,10 +23,18 @@ Run:
     python examples/fault_tolerance_sweep.py
 """
 
+import os
+
+# Smoke tests set REPRO_EXAMPLE_QUICK=1 to shrink the simulated time so
+# every example finishes in well under a second.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip().lower() in (
+    "1", "on", "true", "yes",
+)
+
 from repro.faults import FaultPlan, NetworkFault, RecoveryPolicy
 from repro.rocc import SimulationConfig, simulate
 
-DURATION = 10_000_000.0  # 10 simulated seconds
+DURATION = (1_000_000.0 if QUICK else 10_000_000.0)  # 10 simulated seconds
 
 
 def hostile_plan() -> FaultPlan:

@@ -13,6 +13,14 @@ Run:
     python examples/mpp_tree_forwarding.py
 """
 
+import os
+
+# Smoke tests set REPRO_EXAMPLE_QUICK=1 to shrink the simulated time so
+# every example finishes in well under a second.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip().lower() in (
+    "1", "on", "true", "yes",
+)
+
 from repro.analytical import MPPAnalyticalModel
 from repro.rocc import (
     Architecture,
@@ -30,7 +38,7 @@ def run(nodes: int, tree: bool):
         sampling_period=40_000.0,
         batch_size=32,
         forwarding=ForwardingTopology.TREE if tree else ForwardingTopology.DIRECT,
-        duration=4_000_000.0,
+        duration=(500_000.0 if QUICK else 4_000_000.0),
         seed=4,
     )
     return simulate_aggregated(cfg) if nodes > 16 else simulate(cfg)
@@ -41,7 +49,7 @@ def main() -> None:
     print()
     print(f"{'nodes':>6s} {'topology':>9s} {'Pd CPU %/node':>14s} "
           f"{'analytic %':>11s} {'latency (ms)':>13s} {'merges':>7s}")
-    for nodes in (8, 32, 128):
+    for nodes in ((8, 32) if QUICK else (8, 32, 128)):
         for tree in (False, True):
             r = run(nodes, tree)
             analytic = MPPAnalyticalModel(

@@ -11,6 +11,14 @@ Run:
     python examples/quickstart.py
 """
 
+import os
+
+# Smoke tests set REPRO_EXAMPLE_QUICK=1 to shrink the simulated time so
+# every example finishes in well under a second.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip().lower() in (
+    "1", "on", "true", "yes",
+)
+
 from repro.rocc import SimulationConfig, simulate
 
 
@@ -18,7 +26,7 @@ def main() -> None:
     base = SimulationConfig(
         nodes=8,                  # workstations on the shared network
         sampling_period=40_000.0,  # 40 ms between performance samples
-        duration=5_000_000.0,      # 5 simulated seconds
+        duration=(500_000.0 if QUICK else 5_000_000.0),  # 5 simulated seconds
         seed=2026,
     )
 

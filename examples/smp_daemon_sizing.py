@@ -12,6 +12,14 @@ Run:
     python examples/smp_daemon_sizing.py
 """
 
+import os
+
+# Smoke tests set REPRO_EXAMPLE_QUICK=1 to shrink the simulated time so
+# every example finishes in well under a second.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip().lower() in (
+    "1", "on", "true", "yes",
+)
+
 from repro.rocc import Architecture, SimulationConfig, simulate
 
 
@@ -23,7 +31,7 @@ def total_throughput(cpus: int, daemons: int, batch: int) -> float:
         daemons=min(daemons, cpus),
         sampling_period=40_000.0,
         batch_size=batch,
-        duration=3_000_000.0,
+        duration=(500_000.0 if QUICK else 3_000_000.0),
         seed=7,
     )
     r = simulate(cfg)

@@ -14,6 +14,14 @@ Run:
     python examples/workload_characterization.py
 """
 
+import os
+
+# Smoke tests set REPRO_EXAMPLE_QUICK=1 to shrink the simulated time so
+# every example finishes in well under a second.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip().lower() in (
+    "1", "on", "true", "yes",
+)
+
 from repro.rocc import SimulationConfig, simulate
 from repro.workload import (
     PVMBT,
@@ -28,7 +36,7 @@ from repro.workload import (
 
 
 def main() -> None:
-    duration = 10_000_000.0  # 10 simulated seconds of tracing
+    duration = 1_000_000.0 if QUICK else 10_000_000.0  # simulated tracing span
 
     print("=== 1. Tracing NAS pvmbt under the Paradyn IS (synthetic AIX) ===")
     facility = AIXTraceFacility(

@@ -132,9 +132,15 @@ class TimeWeighted:
     Call :meth:`update` whenever the signal changes; read
     :meth:`integral` (area under the curve up to *now*) or
     :meth:`time_average`.
+
+    An optional ``on_change(now, value)`` callback fires after every
+    level change — observability watchers use it to sample occupancy
+    without the accumulator knowing about them.  It defaults to ``None``
+    and costs one attribute test per update.
     """
 
-    __slots__ = ("name", "_value", "_last_time", "_start_time", "_area", "_max")
+    __slots__ = ("name", "_value", "_last_time", "_start_time", "_area",
+                 "_max", "on_change")
 
     def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0):
         self.name = name
@@ -143,6 +149,7 @@ class TimeWeighted:
         self._start_time = float(start_time)
         self._area = 0.0
         self._max = float(initial)
+        self.on_change = None
 
     @property
     def value(self) -> float:
@@ -160,6 +167,8 @@ class TimeWeighted:
         self._value = float(value)
         if value > self._max:
             self._max = float(value)
+        if self.on_change is not None:
+            self.on_change(now, self._value)
 
     def increment(self, delta: float, now: float) -> None:
         """Adjust the signal by *delta* at time *now*."""

@@ -62,8 +62,10 @@ class EventLog:
     # -- tracer protocol --------------------------------------------------
     def __call__(self, event: Event, now: float) -> None:
         if self.limit is not None and len(self.entries) >= self.limit:
-            self.entries.pop(0)
             self.dropped += 1
+            if not self.entries:  # limit == 0 retains nothing
+                return
+            self.entries.pop(0)
         self.entries.append(
             TraceEntry(
                 time=now,

@@ -59,6 +59,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="profile the simulation kernel in every executed cell and "
         "print the merged profile (implies --no-cache so cells run)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record spans of every executed cell and write a trace to "
+        "PATH (.jsonl for JSONL, otherwise Chrome trace_event JSON "
+        "loadable in Perfetto; implies --no-cache so cells run; "
+        "default: $REPRO_TRACE)",
+    )
     args = parser.parse_args(argv)
 
     if args.ids == ["list"]:
@@ -77,16 +86,32 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         os.environ["REPRO_PROFILE"] = "1"
 
+    from ..obs import (
+        export_trace,
+        registry,
+        summarize,
+        trace_path_from_env,
+        use_tracing,
+    )
+    from contextlib import ExitStack
+
+    trace_out = args.trace_out or trace_path_from_env()
+
     engine = ExperimentEngine(
         workers=args.workers,
         cache=(
             CellCache(enabled=False)
-            if (args.no_cache or args.profile)
+            if (args.no_cache or args.profile or trace_out)
             else None
         ),
     )
     status = 0
-    with engine, use_engine(engine):
+    with ExitStack() as stack:
+        stack.enter_context(engine)
+        stack.enter_context(use_engine(engine))
+        tracer = (
+            stack.enter_context(use_tracing()) if trace_out else None
+        )
         for id_ in ids:
             try:
                 experiment = get(id_)
@@ -95,7 +120,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 status = 2
                 continue
             t0 = time.time()
-            artifact = experiment.run(quick=not args.full)
+            if tracer is not None:
+                with tracer.span(id_, cat="experiment"):
+                    artifact = experiment.run(quick=not args.full)
+            else:
+                artifact = experiment.run(quick=not args.full)
             elapsed = time.time() - t0
             print(artifact.format())
             if args.out:
@@ -111,6 +140,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from ..des.profiling import format_profile
 
             print(format_profile(engine.stats.profile), file=sys.stderr)
+        if tracer is not None:
+            path = export_trace(tracer, trace_out, registry())
+            print(summarize(tracer, registry()), file=sys.stderr)
+            print(f"[trace written to {path}]", file=sys.stderr)
     return status
 
 

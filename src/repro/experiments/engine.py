@@ -45,6 +45,15 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..des.profiling import merge_profiles, take_last_profile
+from ..obs.metrics import diff_snapshots, registry as obs_registry
+from ..obs.spans import (
+    SpanBatch,
+    Tracer,
+    current_tracer,
+    maybe_span,
+    tracing_enabled,
+    use_tracing,
+)
 from ..rocc.aggregate import simulate_aggregated
 from ..rocc.config import SimulationConfig
 from ..rocc.metrics import SimulationResults
@@ -371,17 +380,44 @@ class _CellOutcome:
     cpu: float = 0.0
     #: Kernel profile of the run (plain dict; set only under REPRO_PROFILE).
     profile: Optional[dict] = None
+    #: Spans recorded while running this cell (set only when traced).
+    trace: Optional[SpanBatch] = None
+    #: Metrics-registry delta produced by this cell (obs snapshot diff).
+    metrics: Optional[dict] = None
+    #: Process that executed the cell — the parent merges the metrics
+    #: delta only for foreign pids (inline cells already published).
+    pid: int = 0
 
 
-def _run_cell(payload: Tuple[SimulationConfig, bool]) -> _CellOutcome:
+def _run_cell(payload: Tuple[SimulationConfig, bool, bool]) -> _CellOutcome:
     """Execute one cell; never raises (failures become artifacts)."""
-    config, aggregated = payload
+    config, aggregated, traced = payload
     runner: Callable[[SimulationConfig], SimulationResults] = (
         simulate_aggregated if aggregated else simulate
     )
+    # A traced cell records into its own fresh tracer (explicitly
+    # installed — forked workers inherit the parent's tracer object, and
+    # inline cells must not write parent spans twice) and ships the
+    # batch back, exactly like kernel profiles do.
+    tracer = Tracer() if traced else None
+    metrics_before = obs_registry().snapshot()
     t0, c0 = time.perf_counter(), time.process_time()
     try:
-        result = runner(config)
+        if tracer is not None:
+            with use_tracing(tracer):
+                with tracer.span(
+                    "cell", cat="engine.cell",
+                    args={
+                        "config": (
+                            f"{config.architecture.value} n={config.nodes} "
+                            f"rep={config.replication}"
+                        ),
+                        "aggregated": aggregated,
+                    },
+                ):
+                    result = runner(config)
+        else:
+            result = runner(config)
     except Exception as exc:
         err = CellError.from_exception(config, exc)
         try:  # only ship the exception object if it survives pickling
@@ -391,11 +427,17 @@ def _run_cell(payload: Tuple[SimulationConfig, bool]) -> _CellOutcome:
         return _CellOutcome(
             ok=False, error=err, exc=exc,
             wall=time.perf_counter() - t0, cpu=time.process_time() - c0,
+            trace=tracer.batch() if tracer is not None else None,
+            metrics=diff_snapshots(metrics_before, obs_registry().snapshot()),
+            pid=os.getpid(),
         )
     return _CellOutcome(
         ok=True, result=result,
         wall=time.perf_counter() - t0, cpu=time.process_time() - c0,
         profile=take_last_profile(),
+        trace=tracer.batch() if tracer is not None else None,
+        metrics=diff_snapshots(metrics_before, obs_registry().snapshot()),
+        pid=os.getpid(),
     )
 
 
@@ -463,8 +505,18 @@ class ExperimentEngine:
         """
         configs = list(configs)
         t_start = time.perf_counter()
+        hits_before = self.stats.cache_hits
         try:
-            return self._run_cells(configs, aggregated, isolate)
+            with maybe_span(
+                "run_cells", cat="engine.batch",
+                args={"cells": len(configs), "workers": self.workers},
+            ) as span:
+                outcomes = self._run_cells(configs, aggregated, isolate)
+                if span is not None:
+                    span.args["cache_hits"] = (
+                        self.stats.cache_hits - hits_before
+                    )
+                return outcomes
         finally:
             self.stats.wall_time += time.perf_counter() - t_start
 
@@ -485,10 +537,18 @@ class ExperimentEngine:
             else:
                 misses.append((i, config, key))
 
+        tracer = current_tracer()
+        own_pid = os.getpid()
         for i, key, out in self._execute(misses, aggregated, isolate):
             self.stats.cells_run += 1
             self.stats.cell_wall_time += out.wall
             self.stats.cell_cpu_time += out.cpu
+            if tracer is not None and out.trace is not None:
+                tracer.merge(out.trace)
+            if out.metrics and out.pid != own_pid:
+                # Inline cells already published into this registry;
+                # only foreign (worker) deltas need folding in.
+                obs_registry().merge_snapshot(out.metrics)
             if out.profile is not None:
                 self.stats.profile = merge_profiles(self.stats.profile, out.profile)
                 self.stats.sim_events += out.profile["events"]
@@ -510,16 +570,17 @@ class ExperimentEngine:
     ) -> Iterator[Tuple[int, Optional[str], _CellOutcome]]:
         if not misses:
             return
+        traced = tracing_enabled()
         if self.workers == 1 or len(misses) == 1:
             for i, config, key in misses:
-                out = _run_cell((config, aggregated))
+                out = _run_cell((config, aggregated, traced))
                 yield i, key, out
                 if not out.ok and not isolate:
                     return  # fail fast: later cells never start
             return
         pool = self._ensure_pool()
         futures = [
-            (i, config, key, pool.submit(_run_cell, (config, aggregated)))
+            (i, config, key, pool.submit(_run_cell, (config, aggregated, traced)))
             for i, config, key in misses
         ]
         for i, config, key, future in futures:

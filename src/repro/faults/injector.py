@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..obs.metrics import registry as obs_registry
 from .spec import CpuSlowdown, DaemonCrash, FaultPlan, NetworkFault, PipeStall
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -130,6 +131,7 @@ class FaultInjector:
 
     def _note(self, kind: str) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
+        obs_registry().counter(f"faults.injected.{kind}").inc()
 
     def _crash_proc(self, spec: DaemonCrash, daemon):
         yield self.env.timeout(spec.at)

@@ -1,0 +1,300 @@
+"""Exporters: JSONL, Chrome ``trace_event`` JSON (Perfetto), terminal.
+
+The Chrome exporter emits the JSON-object flavour of the `trace_event
+format <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_:
+``B``/``E`` duration pairs for spans, ``C`` events for counter tracks,
+and ``M`` metadata naming processes and threads.  Load the file at
+https://ui.perfetto.dev — each simulation run appears as its own
+process group with one Gantt-style occupancy track per node plus
+counter tracks, and the experiment engine's wall-clock spans (cells,
+batches, experiments) appear under the real OS pids.
+
+Invariants the exporter guarantees (and :func:`validate_trace_events`
+checks — the regression tests drive both against each other):
+
+* every non-metadata event carries numeric ``ts`` plus ``pid``/``tid``;
+* ``ts`` is globally non-decreasing across the event list;
+* ``B``/``E`` events are balanced and properly nested per track.
+
+Wall-clock timestamps are re-based to the earliest wall event so the
+trace starts near t=0; sim-time tracks keep their native simulated
+microseconds (they start at 0 by construction).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .metrics import MetricsRegistry
+from .spans import WALL, Span, TrackId, Tracer
+
+__all__ = [
+    "trace_events",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "export_trace",
+    "validate_trace_events",
+    "summarize",
+]
+
+
+def _wall_origin(tracer: Tracer) -> float:
+    """Earliest wall-clock timestamp recorded (0.0 if none)."""
+    times = [s.ts for s in tracer.spans if s.domain == WALL]
+    times += [c.ts for c in tracer.counters if c.domain == WALL]
+    return min(times) if times else 0.0
+
+
+def _tid_numbers(tracer: Tracer) -> Dict[Tuple[int, TrackId], int]:
+    """Stable integer tid per ``(pid, track)`` (trace_event wants ints).
+
+    Assignment order is sorted by the track's string form, so the same
+    trace contents always yield the same numbering.
+    """
+    keys = {(s.pid, s.tid) for s in tracer.spans}
+    mapping: Dict[Tuple[int, TrackId], int] = {}
+    per_pid: Dict[int, int] = {}
+    for pid, tid in sorted(keys, key=lambda k: (k[0], str(k[1]))):
+        if isinstance(tid, int):
+            mapping[(pid, tid)] = tid
+            continue
+        per_pid[pid] = per_pid.get(pid, 0) + 1
+        mapping[(pid, tid)] = per_pid[pid]
+    return mapping
+
+
+def trace_events(tracer: Tracer) -> List[dict]:
+    """Render a tracer as a flat ``traceEvents`` list (see module doc)."""
+    origin = _wall_origin(tracer)
+
+    def rebase(ts: float, domain: str) -> float:
+        return ts - origin if domain == WALL else ts
+
+    tid_of = _tid_numbers(tracer)
+    events: List[dict] = []
+
+    # Metadata first (ph=M carries no timeline position).
+    for (pid, tid), name in sorted(
+        tracer.track_names.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+    ):
+        if tid is None:
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            })
+        elif (pid, tid) in tid_of:
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": tid_of[(pid, tid)], "args": {"name": name},
+            })
+
+    # Thread names for string tracks without an explicit name.
+    for (pid, tid), num in sorted(
+        tid_of.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+    ):
+        if isinstance(tid, str) and (pid, tid) not in tracer.track_names:
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": num,
+                "args": {"name": tid},
+            })
+
+    timeline: List[dict] = []
+
+    # B/E pairs, generated per track so nesting is correct by
+    # construction: spans from context managers nest; a child is clamped
+    # into its parent so float jitter cannot produce a crossing pair.
+    by_track: Dict[Tuple[int, TrackId], List[Tuple[float, float, int, Span]]] = {}
+    for seq, span in enumerate(tracer.spans):
+        ts = rebase(span.ts, span.domain)
+        by_track.setdefault((span.pid, span.tid), []).append(
+            (ts, -span.dur, seq, span)
+        )
+    for (pid, tid), items in by_track.items():
+        items.sort(key=lambda it: (it[0], it[1], it[2]))
+        tid_num = tid_of[(pid, tid)]
+        stack: List[Tuple[float, Span]] = []  # (end_ts, span)
+
+        def emit_end(end_ts: float, span: Span) -> None:
+            timeline.append({
+                "name": span.name, "cat": span.cat or "span", "ph": "E",
+                "ts": end_ts, "pid": pid, "tid": tid_num,
+            })
+
+        for ts, neg_dur, _seq, span in items:
+            while stack and stack[-1][0] <= ts:
+                emit_end(*stack.pop())
+            end = ts - neg_dur
+            if stack and end > stack[-1][0]:
+                end = stack[-1][0]  # clamp child into its parent
+            timeline.append({
+                "name": span.name, "cat": span.cat or "span", "ph": "B",
+                "ts": ts, "pid": pid, "tid": tid_num,
+                "args": dict(span.args),
+            })
+            stack.append((end, span))
+        while stack:
+            emit_end(*stack.pop())
+
+    # Per-track B/E lists are ts-ordered; a global stable sort keeps the
+    # within-track order while making the whole timeline monotone.
+    for counter in tracer.counters:
+        timeline.append({
+            "name": counter.name, "cat": "counter", "ph": "C",
+            "ts": rebase(counter.ts, counter.domain),
+            "pid": counter.pid, "tid": 0,
+            "args": dict(counter.values),
+        })
+    timeline.sort(key=lambda e: e["ts"])
+    return events + timeline
+
+
+def chrome_trace(
+    tracer: Tracer, registry: Optional[MetricsRegistry] = None
+) -> dict:
+    """Full Chrome/Perfetto JSON document for one tracer."""
+    doc = {
+        "traceEvents": trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    if registry is not None and len(registry):
+        doc["otherData"] = {"metrics": registry.snapshot()}
+    return doc
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: Union[str, Path],
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer, registry)))
+    return path
+
+
+def write_jsonl(
+    tracer: Tracer,
+    path: Union[str, Path],
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    """One JSON record per span / counter sample / metric."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for span in tracer.spans:
+            fh.write(json.dumps({
+                "type": "span", "name": span.name, "cat": span.cat,
+                "ts": span.ts, "dur": span.dur, "pid": span.pid,
+                "tid": span.tid, "domain": span.domain, "args": span.args,
+            }) + "\n")
+        for c in tracer.counters:
+            fh.write(json.dumps({
+                "type": "counter", "name": c.name, "ts": c.ts,
+                "pid": c.pid, "domain": c.domain, "values": c.values,
+            }) + "\n")
+        if registry is not None:
+            for name, entry in registry.snapshot().items():
+                record = dict(entry)
+                # The snapshot's own "type" (counter/gauge/histogram) must
+                # not clobber the record discriminator.
+                record["kind"] = record.pop("type")
+                fh.write(json.dumps({"type": "metric", "name": name, **record}) + "\n")
+    return path
+
+
+def export_trace(
+    tracer: Tracer,
+    path: Union[str, Path],
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write *tracer* to *path*, picking the format by suffix
+    (``.jsonl`` → JSONL, anything else → Chrome trace JSON)."""
+    if str(path).endswith(".jsonl"):
+        return write_jsonl(tracer, path, registry)
+    return write_chrome_trace(tracer, path, registry)
+
+
+def validate_trace_events(doc: Union[dict, List[dict]]) -> List[str]:
+    """Check a trace document against the exporter's invariants.
+
+    Returns a list of problems (empty = valid): non-metadata events must
+    carry numeric ``ts`` and ``pid``/``tid``, ``ts`` must be globally
+    non-decreasing, and every track's ``B``/``E`` events must balance
+    with matching names in LIFO order.
+    """
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    problems: List[str] = []
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: Optional[float] = None
+    stacks: Dict[Tuple[object, object], List[str]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            if "name" not in event:
+                problems.append(f"event {i}: metadata without a name")
+            continue
+        if ph not in ("B", "E", "C", "X", "i", "I"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: missing numeric ts")
+            continue
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"event {i}: missing pid/tid")
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"event {i}: ts went backwards ({ts} < {last_ts})"
+            )
+        last_ts = ts
+        track = (event.get("pid"), event.get("tid"))
+        if ph == "B":
+            stacks.setdefault(track, []).append(event.get("name", ""))
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                problems.append(f"event {i}: E without matching B on {track}")
+                continue
+            opened = stack.pop()
+            name = event.get("name")
+            if name is not None and name != opened:
+                problems.append(
+                    f"event {i}: E {name!r} closes B {opened!r} on {track}"
+                )
+        elif ph == "C" and "args" not in event:
+            problems.append(f"event {i}: counter without args")
+    for track, stack in sorted(stacks.items(), key=repr):
+        if stack:
+            problems.append(f"track {track}: unclosed B events {stack}")
+    return problems
+
+
+def summarize(
+    tracer: Tracer, registry: Optional[MetricsRegistry] = None
+) -> str:
+    """Terminal summary: span counts/durations by category, metrics."""
+    by_cat: Dict[str, List[float]] = {}
+    for span in tracer.spans:
+        row = by_cat.setdefault(span.cat or "span", [0, 0.0])
+        row[0] += 1
+        row[1] += span.dur
+    pids = {s.pid for s in tracer.spans} | {c.pid for c in tracer.counters}
+    lines = [
+        f"trace summary: {len(tracer.spans)} spans, "
+        f"{len(tracer.counters)} counter samples, "
+        f"{len(pids)} process track(s)",
+    ]
+    for cat in sorted(by_cat):
+        count, dur = by_cat[cat]
+        lines.append(f"  {cat:<16s} {int(count):>6d} spans  {dur / 1e3:10.1f} ms")
+    if registry is not None and len(registry):
+        lines.append("metrics:")
+        lines.append(registry.format())
+    return "\n".join(lines)

@@ -54,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print a kernel profile of the run "
                         "(where the simulator's wall time went)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="record spans and occupancy tracks of the run "
+                        "and write a trace to PATH (.jsonl for JSONL, "
+                        "otherwise Perfetto-loadable trace_event JSON; "
+                        "default: $REPRO_TRACE)")
     return parser
 
 
@@ -119,12 +124,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     runner = simulate_aggregated if args.aggregated else simulate
     if args.profile:
         os.environ["REPRO_PROFILE"] = "1"
-    results = runner(config)
+    from ..obs import (
+        export_trace,
+        registry,
+        summarize,
+        trace_path_from_env,
+        use_tracing,
+    )
+
+    trace_out = args.trace_out or trace_path_from_env()
+    if trace_out:
+        with use_tracing() as tracer:
+            results = runner(config)
+        path = export_trace(tracer, trace_out, registry())
+    else:
+        results = runner(config)
     print(format_results(results))
     if args.profile:
         from ..des.profiling import format_profile, take_last_profile
 
         print(format_profile(take_last_profile()))
+    if trace_out:
+        print(summarize(tracer, registry()))
+        print(f"[trace written to {path}]")
     return 0
 
 

@@ -31,6 +31,7 @@ from typing import Callable, Deque, List, Optional, Tuple
 from ..des.events import Event, Process
 from ..des.exceptions import Interrupt
 from ..faults.spec import MessageLost
+from ..obs.metrics import registry as obs_registry
 from ..des.stores import Store
 from ..workload.records import ProcessType
 from .node import NodeContext
@@ -175,6 +176,7 @@ class ParadynDaemon:
         self._crashed_at = env.now
         metrics = self.ctx.metrics
         metrics.daemon_crashes += 1
+        obs_registry().counter("daemon.crashes").inc()
         if self._batch:
             self._drop(self._batch, "crash")
             self._batch = []
@@ -313,6 +315,7 @@ class ParadynDaemon:
                 yield env.hold(delay)
                 current.cancelled = False
                 metrics.retransmissions += 1
+                obs_registry().counter("daemon.retransmissions").inc()
                 # A retransmission repeats the forwarding system call.
                 yield cpu.execute(
                     self._forward_cpu(), ProcessType.PARADYN_DAEMON
@@ -410,11 +413,14 @@ class ParadynDaemon:
                         # retransmission cannot duplicate the samples.
                         batch.cancelled = True
                         ctx.metrics.forward_timeouts += 1
+                        obs_registry().counter("daemon.forward_timeouts").inc()
                         delivered = False
             if delivered and self._await_recovery:
-                ctx.metrics.recovery_latency.observe(
-                    ctx.env.now - self._crashed_at
-                )
+                latency = ctx.env.now - self._crashed_at
+                ctx.metrics.recovery_latency.observe(latency)
+                obs_registry().histogram(
+                    "daemon.recovery_latency_ms"
+                ).observe(latency / 1e3)
                 self._await_recovery = False
             return delivered
         except Interrupt:

@@ -295,6 +295,10 @@ class SimulationResults:
     # Raw per-node CPU busy breakdown (µs), keyed by (node, process type).
     cpu_busy: Dict = field(default_factory=dict, repr=False)
 
+    # Observability provenance (repro.obs): empty dict when the run was
+    # untraced; span/counter-sample counts for this run when traced.
+    observability: Dict = field(default_factory=dict, repr=False)
+
     # -- convenience -----------------------------------------------------
     @property
     def duration_seconds(self) -> float:

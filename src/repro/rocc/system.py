@@ -23,12 +23,15 @@ Architecture mapping (§4):
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..des.core import Environment
 from ..des.profiling import KernelProfiler, profile_enabled, set_last_profile
 from ..faults.injector import FaultInjector
+from ..obs.metrics import registry as obs_registry
+from ..obs.spans import SIM, Tracer, current_tracer, maybe_span, sim_track_pid
 from ..variates.streams import StreamFactory
 from ..workload.records import ProcessType
 from .application import ApplicationProcess
@@ -52,6 +55,60 @@ _WORKER_OWNERS = (
     ProcessType.OTHER,
     ProcessType.PARADYN_MAIN,
 )
+
+
+class _OccupancyWatcher:
+    """Turns one :class:`TimeWeighted` signal into trace tracks.
+
+    Installed as the accumulator's ``on_change`` hook while a run is
+    traced: busy intervals (level leaving / returning to zero) become
+    sim-time spans — the Gantt bars of a node — and every level change
+    becomes a counter sample.  Both are capped so a long run cannot
+    balloon the trace.
+    """
+
+    #: Per-track record caps (spans / counter samples).
+    MAX_SPANS = 1_000
+    MAX_SAMPLES = 500
+
+    def __init__(self, tracer: Tracer, pid: int, tid: str, counter_name: str):
+        self.tracer = tracer
+        self.pid = pid
+        self.tid = tid
+        self.counter_name = counter_name
+        self.busy_since: Optional[float] = None
+        self.spans = 0
+        self.samples = 0
+
+    def __call__(self, now: float, value: float) -> None:
+        if value > 0.0 and self.busy_since is None:
+            self.busy_since = now
+        elif value <= 0.0 and self.busy_since is not None:
+            if self.spans < self.MAX_SPANS:
+                self.tracer.add_span(
+                    "busy", cat="occupancy", ts=self.busy_since,
+                    dur=now - self.busy_since, tid=self.tid,
+                    pid=self.pid, domain=SIM,
+                )
+                self.spans += 1
+            self.busy_since = None
+        if self.samples < self.MAX_SAMPLES:
+            self.tracer.add_counter(
+                self.counter_name, now, {"level": value},
+                pid=self.pid, domain=SIM,
+            )
+            self.samples += 1
+
+    def finish(self, now: float) -> None:
+        """Close a still-open busy interval at end of run."""
+        if self.busy_since is not None and self.spans < self.MAX_SPANS:
+            self.tracer.add_span(
+                "busy", cat="occupancy", ts=self.busy_since,
+                dur=now - self.busy_since, tid=self.tid,
+                pid=self.pid, domain=SIM,
+            )
+            self.spans += 1
+            self.busy_since = None
 
 
 @dataclass
@@ -87,6 +144,9 @@ class ParadynISSystem:
         #: Fault injector, when config.faults is set.
         self.injector: Optional[FaultInjector] = None
         self._snapshot = _Snapshot()
+        #: ``(signal, watcher)`` pairs installed for a traced run.
+        self._watchers: List[tuple] = []
+        self._obs_info: Dict[str, int] = {}
 
         if config.architecture is Architecture.SMP:
             self._build_smp()
@@ -273,25 +333,97 @@ class ParadynISSystem:
         self.metrics.reset(now=now)
 
     # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+    def _run_label(self) -> str:
+        cfg = self.config
+        return (
+            f"{cfg.architecture.value} n={cfg.nodes} "
+            f"seed={cfg.seed} rep={cfg.replication}"
+        )
+
+    def _attach_observability(self, tracer: Tracer) -> None:
+        """Install occupancy watchers for a traced run.
+
+        Each simulation run gets one synthetic sim-time process track
+        (:func:`sim_track_pid` of the run label) holding a Gantt row per
+        worker CPU, the host CPU, and the interconnect.
+        """
+        label = self._run_label()
+        pid = sim_track_pid(label)
+        tracer.name_process(pid, f"sim: {label}")
+        tracked: List[tuple] = [
+            (f"node{i}.cpu", cpu.busy_servers)
+            for i, cpu in enumerate(self.worker_cpus)
+        ]
+        if self.host_cpu is not None:
+            tracked.append(("host.cpu", self.host_cpu.busy_servers))
+        tracked.append(("network", self.network.in_flight))
+        for tid, signal in tracked:
+            watcher = _OccupancyWatcher(tracer, pid, tid, f"{tid}.level")
+            signal.on_change = watcher
+            self._watchers.append((signal, watcher))
+
+    def _finish_observability(self) -> None:
+        now = self.env.now
+        spans = samples = 0
+        for signal, watcher in self._watchers:
+            watcher.finish(now)
+            signal.on_change = None
+            spans += watcher.spans
+            samples += watcher.samples
+        self._watchers = []
+        self._obs_info = {
+            "occupancy_spans": spans,
+            "counter_samples": samples,
+            "sim_track": self._run_label(),
+        }
+
+    def _publish_metrics(self) -> None:
+        """Fold this run's totals into the process-wide obs registry."""
+        m = self.metrics
+        reg = obs_registry()
+        reg.counter("rocc.runs", "completed simulation runs").inc()
+        reg.counter("rocc.samples_generated").inc(m.samples_generated)
+        reg.counter("rocc.samples_received").inc(m.samples_received)
+        reg.counter("rocc.batches_received").inc(m.batches_received)
+        if m.samples_dropped:
+            reg.counter("rocc.samples_dropped").inc(m.samples_dropped)
+
+    # ------------------------------------------------------------------
     # Execution and results
     # ------------------------------------------------------------------
     def run(self) -> SimulationResults:
         cfg = self.config
-        if profile_enabled():
-            profiler = KernelProfiler(self.env)
-            with profiler:
+        tracer = current_tracer()
+        if tracer is not None:
+            self._attach_observability(tracer)
+        t0 = time.perf_counter()
+        with maybe_span(
+            "simulate", cat="run",
+            args={"config": self._run_label(), "duration_us": cfg.duration},
+        ):
+            if profile_enabled():
+                profiler = KernelProfiler(self.env)
+                with profiler:
+                    self.env.run(
+                        until=cfg.duration,
+                        max_events=cfg.max_events,
+                        max_wall_seconds=cfg.max_wall_seconds,
+                    )
+                set_last_profile(profiler.report())
+            else:
                 self.env.run(
                     until=cfg.duration,
                     max_events=cfg.max_events,
                     max_wall_seconds=cfg.max_wall_seconds,
                 )
-            set_last_profile(profiler.report())
-        else:
-            self.env.run(
-                until=cfg.duration,
-                max_events=cfg.max_events,
-                max_wall_seconds=cfg.max_wall_seconds,
-            )
+        if tracer is not None:
+            self._finish_observability()
+        self._publish_metrics()
+        obs_registry().histogram(
+            "rocc.run_wall_seconds", "wall time of one simulation run"
+        ).observe(time.perf_counter() - t0)
         return self._results()
 
     def _busy(self, cpu_index: int, owner: ProcessType) -> float:
@@ -420,6 +552,7 @@ class ParadynISSystem:
             daemon_downtime=daemon_downtime,
             recovery_latency=m.recovery_latency.mean,
             cpu_busy=cpu_busy_raw,
+            observability=dict(self._obs_info),
         )
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
+from ..obs.metrics import registry as obs_registry
 from ..rocc.config import Architecture, NetworkMode, SimulationConfig
 from ..rocc.metrics import SimulationResults
 from .report import Violation
@@ -336,4 +337,10 @@ def audit_results(
                     f"no faults injected but {name} = {value}",
                     results, **{name: value},
                 ))
+    reg = obs_registry()
+    reg.counter("verify.audits", "results audited").inc()
+    if out:
+        reg.counter("verify.violations", "invariant violations found").inc(
+            len(out)
+        )
     return out

@@ -9,6 +9,16 @@ from repro.des import Environment
 from repro.rocc import SimulationConfig
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-master snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
 @pytest.fixture
 def env() -> Environment:
     """A fresh simulation environment."""

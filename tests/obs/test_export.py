@@ -1,0 +1,152 @@
+"""Unit tests for the exporters and the trace validator (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    SIM,
+    Tracer,
+    chrome_trace,
+    export_trace,
+    registry,
+    sim_track_pid,
+    summarize,
+    trace_events,
+    validate_trace_events,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _tracer_with_nesting() -> Tracer:
+    tracer = Tracer(pid=100, process_name="p")
+    # parent [0, 100], child [10, 40], sibling [50, 90]
+    tracer.add_span("parent", cat="c", ts=0.0, dur=100.0)
+    tracer.add_span("child", cat="c", ts=10.0, dur=30.0)
+    tracer.add_span("sibling", cat="c", ts=50.0, dur=40.0)
+    return tracer
+
+
+def test_nested_spans_emit_balanced_pairs() -> None:
+    events = trace_events(_tracer_with_nesting())
+    assert validate_trace_events(events) == []
+    names = [(e["ph"], e["name"]) for e in events if e["ph"] in "BE"]
+    assert names == [
+        ("B", "parent"),
+        ("B", "child"),
+        ("E", "child"),
+        ("B", "sibling"),
+        ("E", "sibling"),
+        ("E", "parent"),
+    ]
+
+
+def test_overlapping_spans_are_clamped_not_crossed() -> None:
+    tracer = Tracer(pid=100, process_name="p")
+    tracer.add_span("a", cat="c", ts=0.0, dur=50.0)
+    tracer.add_span("b", cat="c", ts=40.0, dur=50.0)  # crosses a's end
+    events = trace_events(tracer)
+    assert validate_trace_events(events) == []
+
+
+def test_ts_globally_monotone_across_tracks() -> None:
+    tracer = Tracer(pid=1, process_name="p")
+    tracer.add_span("x", cat="c", ts=30.0, dur=5.0, tid="t1")
+    tracer.add_span("y", cat="c", ts=10.0, dur=5.0, tid="t2")
+    tracer.add_counter("lvl", 20.0, {"v": 1.0}, pid=7)
+    events = [e for e in trace_events(tracer) if e["ph"] != "M"]
+    ts = [e["ts"] for e in events]
+    assert ts == sorted(ts)
+
+
+def test_wall_spans_rebased_to_origin() -> None:
+    tracer = Tracer(pid=1, process_name="p")
+    tracer.add_span("w", cat="c", ts=1_000_000.0, dur=5.0)  # wall
+    tracer.add_span("s", cat="c", ts=3.0, dur=2.0, pid=sim_track_pid("r"),
+                    domain=SIM)
+    events = trace_events(tracer)
+    wall_b = next(e for e in events if e["name"] == "w" and e["ph"] == "B")
+    sim_b = next(e for e in events if e["name"] == "s" and e["ph"] == "B")
+    assert wall_b["ts"] == 0.0  # rebased to trace origin
+    assert sim_b["ts"] == 3.0  # sim time untouched
+
+
+def test_string_tids_become_integers_with_names() -> None:
+    tracer = Tracer(pid=5, process_name="p")
+    tracer.add_span("x", cat="c", ts=0.0, dur=1.0, tid="node0")
+    tracer.add_span("y", cat="c", ts=2.0, dur=1.0, tid="node1")
+    events = trace_events(tracer)
+    for e in events:
+        assert isinstance(e["tid"], int)
+    thread_names = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert {"node0", "node1"} <= thread_names
+
+
+def test_validator_flags_broken_traces() -> None:
+    assert validate_trace_events({"not": "a trace"})
+    assert validate_trace_events(
+        [{"ph": "B", "name": "x", "ts": 1, "pid": 1, "tid": 1}]
+    )  # unclosed B
+    assert validate_trace_events(
+        [{"ph": "E", "name": "x", "ts": 1, "pid": 1, "tid": 1}]
+    )  # E without B
+    assert validate_trace_events(
+        [
+            {"ph": "C", "name": "c", "ts": 5, "pid": 1, "tid": 0, "args": {}},
+            {"ph": "C", "name": "c", "ts": 1, "pid": 1, "tid": 0, "args": {}},
+        ]
+    )  # ts goes backwards
+    assert validate_trace_events([{"ph": "B", "name": "x"}])  # no ts
+
+
+def test_chrome_trace_document_shape(tmp_path) -> None:
+    reg = MetricsRegistry()
+    reg.counter("k").inc(3)
+    doc = chrome_trace(_tracer_with_nesting(), reg)
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["metrics"]["k"]["value"] == 3.0
+    path = export_trace(_tracer_with_nesting(), tmp_path / "t.json", reg)
+    reloaded = json.loads(path.read_text())
+    assert validate_trace_events(reloaded) == []
+
+
+def test_jsonl_export_one_record_per_line(tmp_path) -> None:
+    tracer = _tracer_with_nesting()
+    tracer.add_counter("lvl", 1.0, {"v": 2.0})
+    reg = MetricsRegistry()
+    reg.gauge("g").set(1)
+    path = write_jsonl(tracer, tmp_path / "t.jsonl", reg)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    by_type = {}
+    for r in records:
+        by_type.setdefault(r["type"], []).append(r)
+    assert len(by_type["span"]) == 3
+    assert len(by_type["counter"]) == 1
+    assert len(by_type["metric"]) == 1
+
+
+def test_export_trace_picks_format_by_suffix(tmp_path) -> None:
+    tracer = _tracer_with_nesting()
+    json_doc = json.loads(export_trace(tracer, tmp_path / "a.json").read_text())
+    assert "traceEvents" in json_doc
+    jsonl_lines = export_trace(tracer, tmp_path / "a.jsonl").read_text()
+    assert all(json.loads(line)["type"] for line in jsonl_lines.splitlines())
+
+
+def test_summarize_mentions_spans_and_metrics() -> None:
+    reg = MetricsRegistry()
+    reg.counter("my.metric").inc()
+    text = summarize(_tracer_with_nesting(), reg)
+    assert "3 spans" in text
+    assert "my.metric" in text
+
+
+def test_empty_tracer_exports_cleanly(tmp_path) -> None:
+    tracer = Tracer(pid=1, process_name="empty")
+    doc = chrome_trace(tracer)
+    assert validate_trace_events(doc) == []
+    assert summarize(tracer).startswith("trace summary: 0 spans")

@@ -1,0 +1,95 @@
+"""Integration tests: observability threaded through the real stack.
+
+Covers the acceptance shape in-process (no subprocess): a traced
+4-node NOW engine run produces spans from the engine-cell,
+simulation-run, and resource-occupancy layers, and the trace survives
+export + validation.  Also pins the zero-cost contract: an untraced
+run records nothing and its results carry an empty ``observability``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import CellCache, ExperimentEngine
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    registry,
+    use_tracing,
+    validate_trace_events,
+)
+from repro.rocc import Architecture, SimulationConfig, simulate
+
+NOW_CONFIG = SimulationConfig(
+    architecture=Architecture.NOW,
+    nodes=4,
+    duration=400_000.0,
+    sampling_period=20_000.0,
+    batch_size=2,
+    seed=11,
+)
+
+
+@pytest.fixture()
+def engine(tmp_path):
+    with ExperimentEngine(
+        workers=1, cache=CellCache(tmp_path / "cache", enabled=False)
+    ) as eng:
+        yield eng
+
+
+def test_traced_now_run_covers_three_layers(engine) -> None:
+    registry().reset()
+    with use_tracing() as tracer:
+        [result] = engine.run_cells([NOW_CONFIG])
+
+    spans = tracer.batch().spans
+    cats = {s.cat for s in spans}
+    assert {"engine.cell", "run", "occupancy"} <= cats
+
+    # Per-node CPU occupancy tracks exist for the 4 NOW nodes.
+    occupancy_tids = {s.tid for s in spans if s.cat == "occupancy"}
+    assert {f"node{i}.cpu" for i in range(4)} <= occupancy_tids
+
+    # Counter samples back the occupancy Gantt tracks.
+    tracks = {c.name for c in tracer.batch().counters}
+    assert any(name.endswith(".cpu.level") for name in tracks)
+
+    # The run advertises what it recorded.
+    assert result.observability["occupancy_spans"] > 0
+    assert result.observability["counter_samples"] > 0
+    assert "sim_track" in result.observability
+
+    # And the whole thing exports to a valid Chrome trace.
+    doc = chrome_trace(tracer, registry())
+    assert validate_trace_events(doc) == []
+    assert registry().counter("rocc.runs").value == 1
+
+
+def test_untraced_run_records_nothing(engine) -> None:
+    assert current_tracer() is None
+    [result] = engine.run_cells([NOW_CONFIG])
+    assert result.observability == {}
+
+
+def test_tracing_does_not_perturb_results(engine) -> None:
+    """Observability must be read-only: identical RNG stream, identical
+    sampled metrics, traced or not."""
+    [plain] = engine.run_cells([NOW_CONFIG])
+    with use_tracing():
+        [traced] = engine.run_cells([NOW_CONFIG])
+    assert traced.pd_cpu_time_per_node == plain.pd_cpu_time_per_node
+    assert traced.samples_received == plain.samples_received
+    assert traced.delivery_ratio == plain.delivery_ratio
+
+
+def test_direct_simulate_honours_ambient_tracer() -> None:
+    """rocc.simulate() picks up the ambient tracer without the engine."""
+    tracer = Tracer()
+    with use_tracing(tracer):
+        simulate(NOW_CONFIG)
+    cats = {s.cat for s in tracer.batch().spans}
+    assert "run" in cats
+    assert "occupancy" in cats

@@ -1,0 +1,131 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, diff_snapshots, registry
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+def test_counter_only_goes_up(reg: MetricsRegistry) -> None:
+    c = reg.counter("c")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways(reg: MetricsRegistry) -> None:
+    g = reg.gauge("g")
+    g.set(10)
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 13.0
+
+
+def test_histogram_stats(reg: MetricsRegistry) -> None:
+    h = reg.histogram("h")
+    for v in (0.5, 2.0, 10.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.mean == pytest.approx(12.5 / 3)
+    assert h.minimum == 0.5
+    assert h.maximum == 10.0
+    assert sum(h.bucket_counts) == 3
+
+
+def test_empty_histogram_is_nan(reg: MetricsRegistry) -> None:
+    h = reg.histogram("h")
+    assert math.isnan(h.mean)
+    assert math.isnan(h.minimum)
+    assert math.isnan(h.maximum)
+
+
+def test_get_or_create_returns_same_object(reg: MetricsRegistry) -> None:
+    assert reg.counter("x") is reg.counter("x")
+
+
+def test_kind_mismatch_raises(reg: MetricsRegistry) -> None:
+    reg.counter("x")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("x")
+
+
+def test_reset_zeroes_in_place(reg: MetricsRegistry) -> None:
+    c = reg.counter("c")
+    h = reg.histogram("h")
+    c.inc(5)
+    h.observe(1.0)
+    reg.reset()
+    assert c.value == 0.0  # the cached reference, not a new object
+    assert h.count == 0
+    assert reg.counter("c") is c
+
+
+def test_snapshot_is_json_safe(reg: MetricsRegistry) -> None:
+    import json
+
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(7)
+    reg.histogram("h").observe(0.3)
+    snap = reg.snapshot()
+    json.dumps(snap)  # must not raise
+    assert snap["c"] == {"type": "counter", "value": 2.0}
+    assert snap["g"]["value"] == 7.0
+    assert snap["h"]["count"] == 1
+
+
+def test_diff_and_merge_roundtrip(reg: MetricsRegistry) -> None:
+    c = reg.counter("c")
+    h = reg.histogram("h")
+    c.inc(3)
+    h.observe(1.0)
+    before = reg.snapshot()
+    c.inc(2)
+    h.observe(5.0)
+    delta = diff_snapshots(before, reg.snapshot())
+    assert delta["c"]["value"] == 2.0
+    assert delta["h"]["count"] == 1
+    assert delta["h"]["sum"] == 5.0
+
+    other = MetricsRegistry()
+    other.counter("c").inc(10)
+    other.merge_snapshot(delta)
+    assert other.counter("c").value == 12.0
+    assert other.histogram("h").count == 1
+
+
+def test_diff_skips_unchanged_metrics(reg: MetricsRegistry) -> None:
+    reg.counter("c").inc(3)
+    snap = reg.snapshot()
+    assert diff_snapshots(snap, reg.snapshot()) == {}
+
+
+def test_merge_rejects_bounds_mismatch(reg: MetricsRegistry) -> None:
+    reg.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+    snap = reg.snapshot()
+    other = MetricsRegistry()
+    other.histogram("h", bounds=(5.0, 6.0))
+    with pytest.raises(ValueError, match="bounds mismatch"):
+        other.merge_snapshot(snap)
+
+
+def test_global_registry_is_a_singleton() -> None:
+    assert registry() is registry()
+
+
+def test_format_renders_every_metric(reg: MetricsRegistry) -> None:
+    reg.counter("a.count").inc()
+    reg.gauge("b.level").set(2)
+    reg.histogram("c.lat").observe(0.1)
+    text = reg.format()
+    for name in ("a.count", "b.level", "c.lat"):
+        assert name in text
