@@ -39,12 +39,53 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_DES.json"
 
 
+def load_baseline(path: Path) -> dict:
+    """Load and structurally validate the committed baseline file.
+
+    Raises ``ValueError`` with an actionable message for every way the
+    file can be unusable (missing, unparsable, or lacking the ``meta`` /
+    ``baseline`` sections), so ``main`` can report it without a
+    traceback.
+    """
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValueError(
+            f"cannot read baseline {path}: {exc}; run the benchmarks and "
+            f"re-create it with --update"
+        ) from exc
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"baseline {path} must be a JSON object")
+    for section in ("meta", "baseline"):
+        if not isinstance(data.get(section), dict):
+            raise ValueError(
+                f"baseline {path} is missing its {section!r} section; "
+                f"re-create it with --update"
+            )
+    return data
+
+
 def load_results(path: Path) -> dict:
     """Map benchmark name -> min seconds from a --benchmark-json file."""
-    data = json.loads(path.read_text())
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read results {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ValueError(f"results {path} is not valid JSON: {exc}") from exc
     out = {}
-    for bench in data.get("benchmarks", []):
-        out[bench["name"]] = float(bench["stats"]["min"])
+    try:
+        for bench in data.get("benchmarks", []):
+            out[bench["name"]] = float(bench["stats"]["min"])
+    except (TypeError, KeyError, AttributeError) as exc:
+        raise ValueError(
+            f"results {path} is not pytest --benchmark-json output: "
+            f"bad benchmark entry ({exc!r})"
+        ) from exc
     if not out:
         raise ValueError(f"no benchmarks found in {path}")
     return out
@@ -140,9 +181,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        baseline = json.loads(args.baseline.read_text())
+        baseline = load_baseline(args.baseline)
         results = load_results(args.results)
-    except (OSError, ValueError, KeyError) as exc:
+    except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -150,16 +191,29 @@ def main(argv=None) -> int:
         update_baseline(args.baseline, baseline, results, args.tolerance)
         return 0
 
-    tolerance = (
-        args.tolerance
-        if args.tolerance is not None
-        else float(baseline["meta"].get("tolerance", 0.25))
-    )
+    try:
+        tolerance = (
+            args.tolerance
+            if args.tolerance is not None
+            else float(baseline["meta"].get("tolerance", 0.25))
+        )
+    except (TypeError, ValueError):
+        print(
+            f"error: baseline {args.baseline} has a non-numeric "
+            f"meta.tolerance: {baseline['meta'].get('tolerance')!r}",
+            file=sys.stderr,
+        )
+        return 2
     print(f"checking {len(results)} benchmarks ({args.mode}, tolerance {tolerance:.0%})")
     try:
         regressions = check(results, baseline, args.mode, tolerance)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(
+            f"error: baseline {args.baseline} and results "
+            f"{args.results} do not line up: {exc!r}; re-create the "
+            f"baseline with --update",
+            file=sys.stderr,
+        )
         return 2
     if regressions:
         print(f"{len(regressions)} benchmark(s) regressed beyond {tolerance:.0%}")

@@ -35,7 +35,19 @@ from .engine import (
     use_engine,
 )
 from .registry import Experiment, get, list_experiments, run
-from .reporting import ArtifactGroup, SeriesSet, Table, engine_stats_table
+from .reporting import (
+    ArtifactGroup,
+    SeriesSet,
+    Table,
+    engine_stats_table,
+    failure_report_table,
+)
+from .resilience import (
+    FailureReport,
+    ResilientEngine,
+    RetryPolicy,
+    RunJournal,
+)
 from .runners import MeanResults, metric_series, replicate, run_design, sweep
 
 __all__ = [
@@ -53,6 +65,10 @@ __all__ = [
     "MeanResults",
     "CellError",
     "ExperimentEngine",
+    "ResilientEngine",
+    "RetryPolicy",
+    "RunJournal",
+    "FailureReport",
     "EngineStats",
     "CellCache",
     "config_fingerprint",
@@ -60,4 +76,5 @@ __all__ = [
     "current_engine",
     "use_engine",
     "engine_stats_table",
+    "failure_report_table",
 ]

@@ -54,6 +54,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="bypass the content-addressed cell cache",
     )
     parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock deadline: a cell exceeding it is "
+        "aborted (in-worker watchdog, plus a parent-side guard for "
+        "hung workers) and retried per --max-retries",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per cell for transient failures (worker death, "
+        "stalls, deadline breaches); 0 disables retrying (default: 2)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="record every cell attempt/success/failure to this JSONL "
+        "run journal and, when it already exists, serve completed "
+        "cells from it instead of re-simulating them",
+    )
+    parser.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --no-strict, cells that exhaust their retries are "
+        "reported in a failure report and the run continues with "
+        "partial results instead of aborting",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="profile the simulation kernel in every executed cell and "
@@ -79,7 +112,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if ids == ["all"]:
         ids = [e.id for e in list_experiments()]
 
-    from .engine import CellCache, ExperimentEngine, use_engine
+    from .engine import CellCache, use_engine
+    from .resilience import ResilientEngine, RetryPolicy
 
     if args.profile:
         import os
@@ -97,13 +131,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     trace_out = args.trace_out or trace_path_from_env()
 
-    engine = ExperimentEngine(
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    engine = ResilientEngine(
         workers=args.workers,
         cache=(
             CellCache(enabled=False)
             if (args.no_cache or args.profile or trace_out)
             else None
         ),
+        retry=RetryPolicy(max_attempts=args.max_retries + 1),
+        cell_timeout=args.cell_timeout,
+        journal=args.resume,
+        strict=args.strict,
     )
     status = 0
     with ExitStack() as stack:
@@ -136,6 +176,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"[saved to {path}]")
             print(f"\n[{id_} completed in {elapsed:.1f}s]\n")
         print(f"[engine: {engine.stats.summary()}]", file=sys.stderr)
+        if engine.failure_report:
+            print(engine.failure_report.format(), file=sys.stderr)
+            status = status or 1
         if args.profile and engine.stats.profile is not None:
             from ..des.profiling import format_profile
 

@@ -235,19 +235,32 @@ def _cache_enabled_by_env() -> bool:
 class CellCache:
     """Content-addressed store of pickled :class:`SimulationResults`.
 
-    Entries live at ``<root>/<key[:2]>/<key>.pkl``; writes are atomic
-    (temp file + rename) so concurrent workers and interrupted runs
-    cannot leave half-written entries, and unreadable entries are
-    evicted on read and treated as misses.
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` with a sha256
+    checksum stored beside each one (``<key>.pkl.sha256``).  Writes are
+    atomic (temp file + fsync + ``os.replace``) so a worker killed
+    mid-``put`` can never leave a torn pickle in place, and reads verify
+    the checksum *before* unpickling: a corrupted or truncated entry is
+    quarantined (moved aside under ``<root>/quarantine/``) and treated
+    as a miss, so the cell simply recomputes.
     """
 
     def __init__(self, root: Union[str, Path, None] = None,
                  enabled: Optional[bool] = None):
         self.root = Path(root).expanduser() if root else _default_cache_root()
         self.enabled = _cache_enabled_by_env() if enabled is None else enabled
+        #: Entries quarantined by this instance (checksum mismatches,
+        #: unpicklable blobs); surfaced as ``EngineStats.cache_corrupt``.
+        self.corrupt_entries = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
+
+    def checksum_path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl.sha256"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
 
     def get(self, key: str) -> Optional[SimulationResults]:
         if not self.enabled:
@@ -258,23 +271,68 @@ class CellCache:
         except OSError:
             return None
         try:
+            expected = self.checksum_path_for(key).read_text().strip()
+        except OSError:
+            expected = None  # pre-checksum entry: fall back to unpickling
+        if expected is not None and hashlib.sha256(blob).hexdigest() != expected:
+            self._quarantine(key)
+            return None
+        try:
             result = pickle.loads(blob)
         except Exception:
-            path.unlink(missing_ok=True)  # evict corrupt entry
+            self._quarantine(key)
             return None
-        return result if isinstance(result, SimulationResults) else None
+        if not isinstance(result, SimulationResults):
+            self._quarantine(key)
+            return None
+        return result
 
     def put(self, key: str, results: SimulationResults) -> None:
         if not self.enabled:
             return
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(blob).hexdigest()
+        try:
+            # Blob first, checksum second: a crash between the two
+            # renames leaves a mismatched pair, which get() quarantines
+            # and recomputes — never a torn pickle served as a hit.
+            self._atomic_write(path, blob)
+            self._atomic_write(self.checksum_path_for(key), digest.encode())
+        except OSError:
+            pass  # cache is best-effort
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
-            tmp.write_bytes(pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL))
-            tmp.replace(path)
+            with open(tmp, "wb") as f:
+                f.write(data)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
         except OSError:
-            tmp.unlink(missing_ok=True)  # cache is best-effort
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry (and its checksum) aside for post-mortem
+        instead of serving — or silently deleting — garbage."""
+        self.corrupt_entries += 1
+        obs_registry().counter(
+            "engine.cache_corrupt",
+            "cell-cache entries quarantined as corrupt",
+        ).inc()
+        qdir = self.quarantine_dir
+        for p in (self.path_for(key), self.checksum_path_for(key)):
+            if not p.exists():
+                continue
+            try:
+                qdir.mkdir(parents=True, exist_ok=True)
+                os.replace(p, qdir / p.name)
+            except OSError:
+                p.unlink(missing_ok=True)
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -282,6 +340,7 @@ class CellCache:
         if self.root.is_dir():
             for path in self.root.rglob("*.pkl"):
                 path.unlink(missing_ok=True)
+                path.with_name(path.name + ".sha256").unlink(missing_ok=True)
                 n += 1
         return n
 
@@ -301,6 +360,18 @@ class EngineStats:
     cells_run: int = 0
     cache_hits: int = 0
     cell_errors: int = 0
+    #: Extra attempts executed by a resilient engine (beyond each cell's
+    #: first), including re-runs after pool breakage.
+    retries: int = 0
+    #: Cells that exceeded their wall-clock deadline (in-worker watchdog
+    #: or the parent-side wait guard).
+    cell_timeouts: int = 0
+    #: Worker-pool restarts after breakage (killed/hung workers).
+    pool_resets: int = 0
+    #: Cache entries quarantined as corrupt during lookups.
+    cache_corrupt: int = 0
+    #: Cells served from a resumed run journal instead of executing.
+    cells_resumed: int = 0
     #: Wall-clock seconds spent inside ``run_cells`` batches.
     wall_time: float = 0.0
     #: Sum of per-cell wall seconds as measured inside the workers.
@@ -340,6 +411,11 @@ class EngineStats:
             cells_run=self.cells_run - earlier.cells_run,
             cache_hits=self.cache_hits - earlier.cache_hits,
             cell_errors=self.cell_errors - earlier.cell_errors,
+            retries=self.retries - earlier.retries,
+            cell_timeouts=self.cell_timeouts - earlier.cell_timeouts,
+            pool_resets=self.pool_resets - earlier.pool_resets,
+            cache_corrupt=self.cache_corrupt - earlier.cache_corrupt,
+            cells_resumed=self.cells_resumed - earlier.cells_resumed,
             wall_time=self.wall_time - earlier.wall_time,
             cell_wall_time=self.cell_wall_time - earlier.cell_wall_time,
             cell_cpu_time=self.cell_cpu_time - earlier.cell_cpu_time,
@@ -353,11 +429,26 @@ class EngineStats:
         events_s = (
             f", {self.sim_events:,} kernel events" if self.sim_events else ""
         )
+        resilience_bits = [
+            f"{count} {label}"
+            for count, label in (
+                (self.cells_resumed, "resumed"),
+                (self.retries, "retries"),
+                (self.cell_timeouts, "timeouts"),
+                (self.pool_resets, "pool resets"),
+                (self.cache_corrupt, "corrupt cache entries"),
+            )
+            if count
+        ]
+        resilience_s = (
+            f", {', '.join(resilience_bits)}" if resilience_bits else ""
+        )
         return (
             f"{self.cells_submitted} cells ({self.cells_run} run, "
             f"{self.cache_hits} cached, {self.cell_errors} failed) in "
             f"{self.wall_time:.2f}s wall / {self.cell_cpu_time:.2f}s cpu, "
-            f"{self.workers} worker(s), {util_s} utilization{events_s}"
+            f"{self.workers} worker(s), {util_s} utilization"
+            f"{resilience_s}{events_s}"
         )
 
 
@@ -468,6 +559,10 @@ class ExperimentEngine:
         self.stats = stats if stats is not None else EngineStats(workers=workers)
         self.stats.workers = workers
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: The picklable callable executed per cell.  The chaos harness
+        #: (:mod:`repro.experiments.chaos`) swaps in a fault-injecting
+        #: wrapper; everything else uses :func:`_run_cell`.
+        self.cell_runner: Callable[[Tuple], _CellOutcome] = _run_cell
 
     # -- lifecycle -----------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -526,14 +621,10 @@ class ExperimentEngine:
         outcomes = [None] * len(configs)
         misses: List[Tuple[int, SimulationConfig, Optional[str]]] = []
         for i, config in enumerate(configs):
-            key = (
-                config_fingerprint(config, aggregated)
-                if self.cache.enabled else None
-            )
-            hit = self.cache.get(key) if key else None
+            key = self._fingerprint(config, aggregated)
+            hit = self._lookup(config, key)
             if hit is not None:
                 outcomes[i] = hit
-                self.stats.cache_hits += 1
             else:
                 misses.append((i, config, key))
 
@@ -565,6 +656,26 @@ class ExperimentEngine:
             outcomes[i] = out.error
         return outcomes
 
+    # -- seams (overridden by the resilience layer) --------------------
+    def _fingerprint(self, config: SimulationConfig,
+                     aggregated: bool) -> Optional[str]:
+        """Content key of one cell, or None when nothing will use it."""
+        if not self.cache.enabled:
+            return None
+        return config_fingerprint(config, aggregated)
+
+    def _lookup(self, config: SimulationConfig,
+                key: Optional[str]) -> Optional[SimulationResults]:
+        """Serve a cell without executing it (cache hit), else None."""
+        if key is None or not self.cache.enabled:
+            return None
+        corrupt_before = self.cache.corrupt_entries
+        hit = self.cache.get(key)
+        self.stats.cache_corrupt += self.cache.corrupt_entries - corrupt_before
+        if hit is not None:
+            self.stats.cache_hits += 1
+        return hit
+
     def _execute(
         self, misses, aggregated: bool, isolate: bool
     ) -> Iterator[Tuple[int, Optional[str], _CellOutcome]]:
@@ -573,14 +684,15 @@ class ExperimentEngine:
         traced = tracing_enabled()
         if self.workers == 1 or len(misses) == 1:
             for i, config, key in misses:
-                out = _run_cell((config, aggregated, traced))
+                out = self._run_inline(config, aggregated, traced)
                 yield i, key, out
                 if not out.ok and not isolate:
                     return  # fail fast: later cells never start
             return
         pool = self._ensure_pool()
         futures = [
-            (i, config, key, pool.submit(_run_cell, (config, aggregated, traced)))
+            (i, config, key,
+             pool.submit(self.cell_runner, (config, aggregated, traced)))
             for i, config, key in misses
         ]
         for i, config, key, future in futures:
@@ -598,10 +710,26 @@ class ExperimentEngine:
                 )
             yield i, key, out
 
+    def _run_inline(self, config: SimulationConfig, aggregated: bool,
+                    traced: bool) -> _CellOutcome:
+        """One inline cell; exceptions from a swapped-in ``cell_runner``
+        (chaos wrappers raise by design) become failure artifacts."""
+        try:
+            return self.cell_runner((config, aggregated, traced))
+        except Exception as exc:
+            return _CellOutcome(
+                ok=False, error=CellError.from_exception(config, exc), exc=exc
+            )
+
     def _reset_broken_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+            self.stats.pool_resets += 1
+            obs_registry().counter(
+                "engine.pool_resets",
+                "worker-pool restarts after breakage",
+            ).inc()
 
 
 # ---------------------------------------------------------------------------

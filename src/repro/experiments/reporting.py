@@ -28,6 +28,8 @@ __all__ = [
     "save_artifact",
     "engine_stats_note",
     "engine_stats_table",
+    "failure_report_note",
+    "failure_report_table",
 ]
 
 
@@ -186,6 +188,29 @@ def engine_stats_table(stats) -> Table:
     table.add_row("wall time (s)", stats.wall_time)
     table.add_row("cell CPU time (s)", stats.cell_cpu_time)
     table.add_row("worker utilization", util)
+    return table
+
+
+def failure_report_note(report) -> str:
+    """One-line provenance note for a sweep that lost cells.
+
+    *report* is a :class:`~repro.experiments.resilience.FailureReport`;
+    duck-typed like :func:`engine_stats_note`.
+    """
+    return f"resilience: {report.summary()}"
+
+
+def failure_report_table(report) -> Table:
+    """Render a :class:`~repro.experiments.resilience.FailureReport` as
+    a :class:`Table` (one row per lost cell), so partial sweeps ship a
+    structured account of what is missing alongside their numbers."""
+    table = Table(
+        title="Failed cells (after retries)",
+        headers=["cell", "attempts", "error"],
+    )
+    for f in report.failures:
+        table.add_row(f.config_summary, f.attempts, f.error)
+    table.notes.append(failure_report_note(report))
     return table
 
 

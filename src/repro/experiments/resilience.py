@@ -1,0 +1,720 @@
+"""Resilient experiment execution: retries, deadlines, checkpoint/resume.
+
+The paper's evaluation is a large factorial sweep of independent
+simulation cells, and long sweeps die in mundane ways: a worker process
+is OOM-killed mid-cell (``BrokenProcessPool``), a pathological
+configuration livelocks the kernel, a crashed run leaves a corrupt
+cache entry behind.  :class:`ResilientEngine` wraps the
+:class:`~repro.experiments.engine.ExperimentEngine` scheduler so that
+every failure is *bounded* and every sweep is *restartable*:
+
+* **Deadlines** — ``cell_timeout`` arms the PR-1 kernel watchdog inside
+  the worker (``max_wall_seconds``), so a runaway cell aborts itself
+  with :class:`~repro.des.SimulationStalled`.  A worker that hangs
+  outside the kernel (so the watchdog cannot fire) is caught by a
+  parent-side wait guard and its pool is torn down.
+* **Retries** — a :class:`RetryPolicy` (max attempts, exponential
+  backoff with deterministic jitter, retry-on exception classes)
+  re-runs transient failures — worker death, stalls, deadline breaches —
+  instead of aborting the batch.  Cells are deterministic, so a retry
+  that succeeds is indistinguishable from a first-attempt success.
+* **Checkpoint/resume** — a :class:`RunJournal` (append-only JSONL,
+  keyed by the engine's content-addressed cell fingerprint) records
+  every attempt, success, and final failure.  Re-running with the same
+  journal serves completed cells from the journal without simulating
+  them again and re-runs only the remainder.
+* **Graceful degradation** — after repeated pool breakage the engine
+  demotes itself to serial in-process execution; with ``strict=False``
+  a sweep always returns (partial results plus a structured
+  :class:`FailureReport`) instead of raising.
+
+Counters (``engine.retries``, ``engine.cell_timeouts``,
+``engine.pool_resets``, ``engine.cache_corrupt``) are published through
+the :mod:`repro.obs` metrics registry, and every attempt runs under a
+span when tracing is enabled.  The failure modes themselves are
+exercised by the chaos harness in :mod:`repro.experiments.chaos`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..des.profiling import merge_profiles
+from ..obs.metrics import registry as obs_registry, timed
+from ..obs.spans import current_tracer, maybe_span, tracing_enabled
+from ..rocc.config import SimulationConfig
+from ..rocc.metrics import SimulationResults
+from .engine import (
+    CellCache,
+    CellError,
+    EngineStats,
+    ExperimentEngine,
+    _CellOutcome,
+    config_fingerprint,
+)
+
+__all__ = [
+    "CellTimeout",
+    "RetryPolicy",
+    "CellFailure",
+    "FailureReport",
+    "RunJournal",
+    "ResilientEngine",
+]
+
+
+class CellTimeout(RuntimeError):
+    """A cell exceeded its wall-clock deadline (parent-side wait guard)."""
+
+
+#: Exception class names retried by default: everything that can be
+#: transient on a loaded host — watchdog stalls (the cell itself is
+#: deterministic, but wall-clock deadlines are not), worker death and
+#: its pool-level shrapnel, and injected chaos faults.
+DEFAULT_TRANSIENT: Tuple[str, ...] = (
+    "SimulationStalled",
+    "CellTimeout",
+    "BrokenProcessPool",
+    "ChaosKilled",
+    "CancelledError",
+    "EOFError",
+    "BrokenPipeError",
+    "ConnectionResetError",
+)
+
+# Module-cached instruments (registry().reset() zeroes them in place,
+# so the references stay valid across test isolation).
+_RETRIES = obs_registry().counter(
+    "engine.retries", "cell re-executions scheduled by the resilience layer"
+)
+_TIMEOUTS = obs_registry().counter(
+    "engine.cell_timeouts", "cells that exceeded their wall-clock deadline"
+)
+_ATTEMPT_SECONDS = obs_registry().histogram(
+    "engine.attempt_seconds", "wall seconds per executed cell attempt"
+)
+_BATCH_SECONDS = obs_registry().histogram(
+    "engine.batch_seconds", "wall seconds per resilient run_cells batch"
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how to re-run a failed cell.
+
+    Only *transient* failures are retried: the failure's exception class
+    name (the prefix of :attr:`CellError.error`) must appear in
+    :attr:`retry_on`.  Deterministic model errors (a ``ValueError`` from
+    a bad config, say) would fail identically on every attempt, so they
+    are never retried.  Backoff is exponential with multiplicative
+    jitter derived from a hash of ``(cell key, attempt)`` — deterministic
+    across runs, decorrelated across cells.
+    """
+
+    #: Total attempts per cell (1 = no retries).
+    max_attempts: int = 3
+    #: First backoff delay, seconds.
+    backoff_base: float = 0.05
+    #: Multiplier applied per additional attempt.
+    backoff_factor: float = 2.0
+    #: Jitter fraction in [0, 1): delay is scaled by 1 ± jitter·u.
+    backoff_jitter: float = 0.5
+    #: Exception class names considered transient.
+    retry_on: Tuple[str, ...] = DEFAULT_TRANSIENT
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """No retries: every first failure is final."""
+        return cls(max_attempts=1)
+
+    @classmethod
+    def from_recovery_policy(cls, policy, max_attempts: int = 3) -> "RetryPolicy":
+        """Adapt a simulated-daemon :class:`~repro.faults.RecoveryPolicy`
+        (µs timescale) to host-side cell retries (seconds) — the same
+        exponential-backoff-with-jitter shape the model uses for
+        retransmissions, scaled 1 µs → 1 ms."""
+        return cls(
+            max_attempts=max_attempts,
+            backoff_base=policy.backoff_base * 1e-3,  # n µs -> n ms, in s
+            backoff_factor=policy.backoff_factor,
+            backoff_jitter=policy.backoff_jitter,
+        )
+
+    def error_class(self, error: CellError) -> str:
+        """The exception class name carried by a failure artifact."""
+        return error.error.split(":", 1)[0].strip()
+
+    def is_transient(self, error: CellError) -> bool:
+        return self.error_class(error) in self.retry_on
+
+    def should_retry(self, error: CellError, attempt: int) -> bool:
+        """Whether attempt *attempt* (1-based) may be followed by another."""
+        return attempt < self.max_attempts and self.is_transient(error)
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before attempt ``attempt + 1``, seconds."""
+        d = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if self.backoff_jitter > 0.0:
+            digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+            u = int.from_bytes(digest[:8], "big") / 2.0 ** 64  # [0, 1)
+            d *= 1.0 + self.backoff_jitter * (2.0 * u - 1.0)
+        return d
+
+
+# ---------------------------------------------------------------------------
+# Failure reporting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellFailure:
+    """One cell that exhausted its attempts (or was not retryable)."""
+
+    config_summary: str
+    key: Optional[str]
+    attempts: int
+    error: str
+    traceback: str = ""
+
+
+@dataclass
+class FailureReport:
+    """Structured account of everything the resilience layer survived.
+
+    Returned alongside partial results (``strict=False``) and threaded
+    into reporting: :func:`repro.experiments.reporting.failure_report_table`
+    renders it as an artifact table.  Truthiness means "cells were
+    lost"; recovered incidents (pool resets, retries that eventually
+    succeeded) are recorded but do not make the report truthy.
+    """
+
+    failures: List[CellFailure] = field(default_factory=list)
+    retries: int = 0
+    cell_timeouts: int = 0
+    pool_resets: int = 0
+    degraded_to_serial: bool = False
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def add(self, config: SimulationConfig, key: Optional[str],
+            attempts: int, error: CellError) -> None:
+        self.failures.append(CellFailure(
+            config_summary=error.config_summary,
+            key=key,
+            attempts=attempts,
+            error=error.error,
+            traceback=error.traceback,
+        ))
+
+    def summary(self) -> str:
+        bits = [f"{len(self.failures)} cell(s) failed"]
+        if self.retries:
+            bits.append(f"{self.retries} retries")
+        if self.cell_timeouts:
+            bits.append(f"{self.cell_timeouts} deadline breaches")
+        if self.pool_resets:
+            bits.append(f"{self.pool_resets} pool resets")
+        if self.degraded_to_serial:
+            bits.append("degraded to serial execution")
+        return ", ".join(bits)
+
+    def format(self) -> str:
+        lines = [f"failure report: {self.summary()}"]
+        for f in self.failures:
+            lines.append(
+                f"  {f.config_summary}: {f.error} "
+                f"(after {f.attempts} attempt(s))"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Run journal (checkpoint / resume)
+# ---------------------------------------------------------------------------
+
+
+class RunJournal:
+    """Append-only JSONL record of a sweep, keyed by cell fingerprint.
+
+    Events: ``journal`` (header), ``attempt``, ``retry``, ``success``
+    (carries the pickled :class:`SimulationResults`, base64-encoded,
+    with a sha256 checksum), and ``failure`` (final, after retries).
+    Because cell fingerprints already content-address the full config
+    *and* the simulation source, resuming from a journal is safe across
+    process restarts: a changed config or changed code simply produces
+    different keys and re-runs.
+
+    Loading tolerates a torn tail (a crash mid-append) and corrupt
+    ``success`` payloads — any record that fails to parse or fails its
+    checksum is ignored, so the worst outcome of journal damage is
+    recomputing a cell, never serving garbage.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Union[str, Path], resume: bool = True):
+        self.path = Path(path).expanduser()
+        self._blobs: Dict[str, bytes] = {}
+        self.attempts: Dict[str, int] = {}
+        self.failed: Dict[str, str] = {}
+        #: Lines skipped on load (torn tail, checksum mismatch).
+        self.skipped_records = 0
+        existed = self.path.exists()
+        if resume and existed:
+            self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if not existed:
+            self._write({
+                "event": "journal",
+                "version": self.VERSION,
+                "pid": os.getpid(),
+            })
+
+    # -- persistence ---------------------------------------------------
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                self.skipped_records += 1  # torn tail / scribbled line
+                continue
+            event = rec.get("event")
+            key = rec.get("key")
+            if event in ("attempt", "retry") and key:
+                self.attempts[key] = max(
+                    self.attempts.get(key, 0), int(rec.get("attempt", 1))
+                )
+            elif event == "success" and key:
+                try:
+                    blob = base64.b64decode(rec["result"])
+                except (KeyError, ValueError):
+                    self.skipped_records += 1
+                    continue
+                if hashlib.sha256(blob).hexdigest() != rec.get("sha256"):
+                    self.skipped_records += 1
+                    continue
+                self._blobs[key] = blob
+                self.failed.pop(key, None)
+            elif event == "failure" and key:
+                self.failed[key] = str(rec.get("error", ""))
+
+    def _write(self, rec: dict, fsync: bool = False) -> None:
+        rec = dict(rec)
+        rec["ts"] = round(time.time(), 3)
+        self._fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if fsync:
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- queries -------------------------------------------------------
+    def completed_keys(self) -> Set[str]:
+        return set(self._blobs)
+
+    def result_for(self, key: str) -> Optional[SimulationResults]:
+        """The journaled result of a completed cell, else None."""
+        blob = self._blobs.get(key)
+        if blob is None:
+            return None
+        try:
+            result = pickle.loads(blob)
+        except Exception:
+            self._blobs.pop(key, None)
+            self.skipped_records += 1
+            return None
+        return result if isinstance(result, SimulationResults) else None
+
+    # -- recording -----------------------------------------------------
+    def record_attempt(self, key: Optional[str], attempt: int) -> None:
+        if key:
+            self.attempts[key] = max(self.attempts.get(key, 0), attempt)
+            self._write({"event": "attempt", "key": key, "attempt": attempt})
+
+    def record_retry(self, key: Optional[str], attempt: int, error: str) -> None:
+        if key:
+            self._write({
+                "event": "retry", "key": key,
+                "attempt": attempt, "error": error,
+            })
+
+    def record_success(self, key: Optional[str], results: SimulationResults,
+                       attempt: int = 1, wall: float = 0.0) -> None:
+        if not key:
+            return
+        blob = pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write({
+            "event": "success",
+            "key": key,
+            "attempt": attempt,
+            "wall": round(wall, 6),
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "result": base64.b64encode(blob).decode("ascii"),
+        }, fsync=True)
+        self._blobs[key] = blob
+        self.failed.pop(key, None)
+
+    def record_failure(self, key: Optional[str], attempt: int, error: str) -> None:
+        if key:
+            self._write({
+                "event": "failure", "key": key,
+                "attempt": attempt, "error": error,
+            }, fsync=True)
+            self.failed[key] = error
+
+
+# ---------------------------------------------------------------------------
+# The resilient engine
+# ---------------------------------------------------------------------------
+
+
+class ResilientEngine(ExperimentEngine):
+    """An :class:`ExperimentEngine` whose failures are bounded.
+
+    Parameters beyond the base engine's:
+
+    * ``retry`` — the :class:`RetryPolicy` (default: 3 attempts with
+      exponential backoff over the transient classes).
+    * ``cell_timeout`` — per-cell wall-clock deadline, seconds.
+      Enforced inside the worker via the kernel watchdog
+      (``max_wall_seconds``) and, for workers hung outside the kernel,
+      by a parent-side wait guard of ``cell_timeout × deadline_grace +
+      2`` seconds that tears the pool down.
+    * ``journal`` — a :class:`RunJournal` (or a path) to checkpoint into
+      and resume from: completed cells are served from the journal
+      without executing.
+    * ``strict`` — when False, a cell that exhausts its attempts never
+      raises: it is returned as a :class:`CellError` artifact (the
+      partial-results contract of ``isolate=True``) and recorded in
+      :attr:`failure_report`.
+    * ``degrade_after`` — pool failures tolerated before the engine
+      demotes itself to serial in-process execution.
+
+    Attempt accounting: a failure *inside* a cell (exception, watchdog
+    stall, deadline breach) consumes one of the cell's attempts.  Pool
+    shrapnel — sibling futures that die with ``BrokenProcessPool`` or
+    are cancelled because some *other* cell broke the pool — is requeued
+    without consuming the victim cells' budgets, and is bounded by
+    ``degrade_after`` instead.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache: Optional[CellCache] = None,
+                 stats: Optional[EngineStats] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 cell_timeout: Optional[float] = None,
+                 journal: Union[RunJournal, str, Path, None] = None,
+                 strict: bool = True,
+                 degrade_after: int = 3,
+                 deadline_grace: float = 3.0):
+        super().__init__(workers=workers, cache=cache, stats=stats)
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive (or None)")
+        if degrade_after < 1:
+            raise ValueError("degrade_after must be >= 1")
+        if deadline_grace < 1.0:
+            raise ValueError("deadline_grace must be >= 1")
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.cell_timeout = cell_timeout
+        self.journal = (
+            journal if isinstance(journal, RunJournal) or journal is None
+            else RunJournal(journal)
+        )
+        self.strict = strict
+        self.degrade_after = degrade_after
+        self.deadline_grace = deadline_grace
+        self.failure_report = FailureReport()
+        self._pool_failures = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        super().close()
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- base-engine seams ---------------------------------------------
+    def run_cells(self, configs, aggregated: bool = False,
+                  isolate: bool = False):
+        # strict=False is the partial-results contract: failures become
+        # artifacts instead of raising, exactly like isolate=True.
+        with timed(_BATCH_SECONDS):
+            return super().run_cells(
+                configs, aggregated=aggregated,
+                isolate=isolate or not self.strict,
+            )
+
+    def _fingerprint(self, config: SimulationConfig,
+                     aggregated: bool) -> Optional[str]:
+        # The journal needs keys even when the cache is disabled.
+        if self.journal is not None:
+            return config_fingerprint(config, aggregated)
+        return super()._fingerprint(config, aggregated)
+
+    def _lookup(self, config: SimulationConfig,
+                key: Optional[str]) -> Optional[SimulationResults]:
+        if self.journal is not None and key is not None:
+            result = self.journal.result_for(key)
+            if result is not None:
+                self.stats.cells_resumed += 1
+                return result
+        return super()._lookup(config, key)
+
+    # -- execution -----------------------------------------------------
+    def _execute(self, misses, aggregated, isolate):
+        if not misses:
+            return
+        traced = tracing_enabled()
+        pending = [(i, config, key, 1) for i, config, key in misses]
+        while pending:
+            if self.workers == 1 or len(pending) == 1:
+                for i, config, key, attempt in pending:
+                    out, attempts = self._serial_attempts(
+                        config, key, aggregated, traced, attempt
+                    )
+                    self._finalize(config, key, out, attempt=attempts)
+                    yield i, key, out
+                    if not out.ok and not isolate:
+                        return  # fail fast, like the base serial path
+                return
+            pending, delay = yield from self._pool_round(
+                pending, aggregated, traced
+            )
+            if pending and delay > 0.0:
+                time.sleep(delay)
+
+    def _serial_attempts(self, config, key, aggregated, traced,
+                         attempt: int) -> Tuple[_CellOutcome, int]:
+        """Run one cell inline until success or the policy gives up;
+        returns the final outcome and the attempt count."""
+        while True:
+            self._journal_attempt(key, attempt)
+            with maybe_span(
+                "attempt", cat="engine.attempt",
+                args={"attempt": attempt, "key": (key or "")[:12]},
+            ):
+                out = self._run_inline(
+                    self._with_deadline(config), aggregated, traced
+                )
+            _ATTEMPT_SECONDS.observe(out.wall)
+            if out.ok:
+                return out, attempt
+            self._note_timeout_if_any(out)
+            if not self.retry.should_retry(out.error, attempt):
+                return out, attempt
+            self._absorb_attempt(out)
+            self._count_retry(key, attempt, out.error.error)
+            time.sleep(self.retry.delay(attempt, key or ""))
+            attempt += 1
+
+    def _pool_round(self, pending, aggregated, traced):
+        """One parallel wave over *pending*; yields finished cells and
+        returns ``(still_pending, backoff_delay)``."""
+        pool = self._ensure_pool()
+        futures = []
+        for item in pending:
+            i, config, key, attempt = item
+            self._journal_attempt(key, attempt)
+            futures.append((item, pool.submit(
+                self.cell_runner,
+                (self._with_deadline(config), aggregated, traced),
+            )))
+        next_pending: List[Tuple] = []
+        delay = 0.0
+        pool_failed = False
+        for (i, config, key, attempt), future in futures:
+            with maybe_span(
+                "attempt", cat="engine.attempt",
+                args={"attempt": attempt, "key": (key or "")[:12]},
+            ) as span:
+                try:
+                    # Once the pool is known broken, the remaining
+                    # futures fail (or were cancelled) immediately —
+                    # keep a short guard instead of a full deadline wait.
+                    wait = 15.0 if pool_failed else self._wait_timeout()
+                    out = future.result(timeout=wait)
+                except KeyboardInterrupt:
+                    raise
+                except _FuturesTimeout:
+                    # The worker is hung somewhere the in-worker
+                    # watchdog cannot reach; kill the pool and charge
+                    # this cell.
+                    out = self._timeout_outcome(config)
+                    self._note_pool_failure(hard=True)
+                    pool_failed = True
+                except BaseException:
+                    # Worker death (BrokenProcessPool) or post-reset
+                    # cancellation: pool-level shrapnel.  Requeue
+                    # without consuming the cell's attempt budget —
+                    # bounded by degrade_after, not max_attempts.
+                    if not pool_failed:
+                        self._note_pool_failure(hard=False)
+                        pool_failed = True
+                    self._count_retry(key, attempt, "BrokenProcessPool")
+                    next_pending.append((i, config, key, attempt))
+                    if span is not None:
+                        span.args["requeued"] = True
+                    continue
+                if span is not None:
+                    span.args["ok"] = out.ok
+            _ATTEMPT_SECONDS.observe(out.wall)
+            if out.ok:
+                self._finalize(config, key, out, attempt=attempt)
+                yield i, key, out
+                continue
+            self._note_timeout_if_any(out)
+            if self.retry.should_retry(out.error, attempt):
+                self._absorb_attempt(out)
+                self._count_retry(key, attempt, out.error.error)
+                delay = max(delay, self.retry.delay(attempt, key or ""))
+                next_pending.append((i, config, key, attempt + 1))
+            else:
+                self._finalize(config, key, out, attempt=attempt)
+                yield i, key, out
+        return next_pending, delay
+
+    # -- helpers -------------------------------------------------------
+    def _with_deadline(self, config: SimulationConfig) -> SimulationConfig:
+        if self.cell_timeout is None:
+            return config
+        current = config.max_wall_seconds
+        deadline = (
+            self.cell_timeout if current is None
+            else min(current, self.cell_timeout)
+        )
+        if current == deadline:
+            return config
+        return config.with_(max_wall_seconds=deadline)
+
+    def _wait_timeout(self) -> Optional[float]:
+        if self.cell_timeout is None:
+            return None
+        return self.cell_timeout * self.deadline_grace + 2.0
+
+    def _timeout_outcome(self, config: SimulationConfig) -> _CellOutcome:
+        exc = CellTimeout(
+            f"cell exceeded its wall-clock deadline of "
+            f"{self.cell_timeout}s (worker unresponsive; pool reset)"
+        )
+        return _CellOutcome(
+            ok=False, error=CellError.from_exception(config, exc), exc=exc
+        )
+
+    def _note_timeout_if_any(self, out: _CellOutcome) -> None:
+        name = self.retry.error_class(out.error) if out.error else ""
+        if name in ("CellTimeout", "SimulationStalled"):
+            self.stats.cell_timeouts += 1
+            self.failure_report.cell_timeouts += 1
+            _TIMEOUTS.inc()
+
+    def _note_pool_failure(self, hard: bool) -> None:
+        self._pool_failures += 1
+        if hard:
+            self._hard_reset_pool()
+        else:
+            self._reset_broken_pool()
+        self.failure_report.pool_resets = self.stats.pool_resets
+        if self._pool_failures >= self.degrade_after and self.workers > 1:
+            # Graceful degradation: the pool keeps dying under us, so
+            # stop using one.  Serial execution cannot lose workers.
+            self.workers = 1
+            self.stats.workers = 1
+            self.failure_report.degraded_to_serial = True
+
+    def _hard_reset_pool(self) -> None:
+        """Tear down a pool whose workers may be hung (not just dead):
+        terminate the worker processes, then shut the executor down."""
+        pool = self._pool
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        self._reset_broken_pool()
+
+    def _count_retry(self, key: Optional[str], attempt: int,
+                     error: str) -> None:
+        self.stats.retries += 1
+        self.failure_report.retries += 1
+        _RETRIES.inc()
+        if self.journal is not None:
+            self.journal.record_retry(key, attempt, error.splitlines()[0])
+
+    def _absorb_attempt(self, out: _CellOutcome) -> None:
+        """Account for a non-final (retried) attempt: the base engine
+        only books the outcomes we yield, so failed attempts' wall/CPU
+        time, spans, metrics, and profiles are folded in here."""
+        self.stats.cell_wall_time += out.wall
+        self.stats.cell_cpu_time += out.cpu
+        tracer = current_tracer()
+        if tracer is not None and out.trace is not None:
+            tracer.merge(out.trace)
+        if out.metrics and out.pid and out.pid != os.getpid():
+            obs_registry().merge_snapshot(out.metrics)
+        if out.profile is not None:
+            self.stats.profile = merge_profiles(self.stats.profile, out.profile)
+            self.stats.sim_events += out.profile["events"]
+
+    def _journal_attempt(self, key: Optional[str], attempt: int) -> None:
+        if self.journal is not None:
+            self.journal.record_attempt(key, attempt)
+
+    def _finalize(self, config: SimulationConfig, key: Optional[str],
+                  out: _CellOutcome, attempt: Optional[int]) -> None:
+        """Journal + report bookkeeping for a cell's final outcome."""
+        attempts = attempt if attempt is not None else (
+            self.journal.attempts.get(key, 1)
+            if self.journal is not None and key else 1
+        )
+        if out.ok:
+            if self.journal is not None:
+                self.journal.record_success(
+                    key, out.result, attempt=attempts, wall=out.wall
+                )
+            return
+        if self.journal is not None:
+            self.journal.record_failure(
+                key, attempts, out.error.error.splitlines()[0]
+            )
+        self.failure_report.add(config, key, attempts, out.error)

@@ -21,6 +21,7 @@ from .metrics import (
     MetricsRegistry,
     diff_snapshots,
     registry,
+    timed,
 )
 from .spans import (
     SIM,
@@ -60,6 +61,7 @@ __all__ = [
     "sim_track_pid",
     "start_tracing",
     "stop_tracing",
+    "timed",
     "summarize",
     "trace_events",
     "trace_path_from_env",

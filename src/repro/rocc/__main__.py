@@ -59,6 +59,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "and write a trace to PATH (.jsonl for JSONL, "
                         "otherwise Perfetto-loadable trace_event JSON; "
                         "default: $REPRO_TRACE)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline for the run (kernel "
+                        "watchdog); exceeded runs abort and are retried "
+                        "per --max-retries")
+    parser.add_argument("--max-retries", type=int, default=0, metavar="N",
+                        help="retries on transient failures (stalls, "
+                        "deadline breaches); default 0")
+    parser.add_argument("--resume", metavar="JOURNAL", default=None,
+                        help="journal the run to this JSONL file and, on a "
+                        "re-run, serve a completed result from it instead "
+                        "of simulating again")
+    parser.add_argument("--strict", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="with --no-strict, a run that exhausts its "
+                        "retries prints a failure report and exits 1 "
+                        "instead of raising")
     return parser
 
 
@@ -118,8 +135,39 @@ def format_results(r: SimulationResults) -> str:
     return "\n".join(lines)
 
 
+def _resilient_run(args, config):
+    """Run the single cell through a :class:`ResilientEngine` so the
+    CLI gets deadlines, retries, and journal resume; returns
+    ``(results_or_None, failure_report)``."""
+    from ..experiments.engine import CellCache, CellError
+    from ..experiments.resilience import ResilientEngine, RetryPolicy
+
+    with ResilientEngine(
+        workers=1,
+        # No memoization surprises for a CLI one-off: completed runs are
+        # only reused when the user opts into a --resume journal.
+        cache=CellCache(enabled=False),
+        retry=RetryPolicy(max_attempts=args.max_retries + 1),
+        cell_timeout=args.cell_timeout,
+        journal=args.resume,
+        strict=args.strict,
+    ) as engine:
+        (outcome,) = engine.run_cells([config], aggregated=args.aggregated)
+        if engine.stats.profile is not None:
+            # _run_cell consumed the kernel profile; republish it so the
+            # --profile printout below still sees the (merged) run.
+            from ..des.profiling import set_last_profile
+
+            set_last_profile(engine.stats.profile)
+        if isinstance(outcome, CellError):
+            return None, engine.failure_report
+        return outcome, engine.failure_report
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.max_retries < 0:
+        build_parser().error("--max-retries must be >= 0")
     config = config_from_args(args)
     runner = simulate_aggregated if args.aggregated else simulate
     if args.profile:
@@ -132,14 +180,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         use_tracing,
     )
 
+    resilient = (
+        args.cell_timeout is not None
+        or args.max_retries > 0
+        or args.resume is not None
+        or not args.strict
+    )
     trace_out = args.trace_out or trace_path_from_env()
+    report = None
     if trace_out:
         with use_tracing() as tracer:
-            results = runner(config)
+            if resilient:
+                results, report = _resilient_run(args, config)
+            else:
+                results = runner(config)
         path = export_trace(tracer, trace_out, registry())
+    elif resilient:
+        results, report = _resilient_run(args, config)
     else:
         results = runner(config)
+    if results is None:
+        print(report.format())
+        return 1
     print(format_results(results))
+    if report is not None and (report.retries or report.cell_timeouts):
+        print(f"[resilience: {report.summary()}]")
     if args.profile:
         from ..des.profiling import format_profile, take_last_profile
 

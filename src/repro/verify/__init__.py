@@ -25,6 +25,7 @@ from .differential import (
     check_bf_flush_noop,
     check_cache,
     check_fastpath,
+    check_resilient_engine,
     check_watchdog,
     check_workers,
     diff_results,
@@ -56,4 +57,5 @@ __all__ = [
     "check_workers",
     "check_cache",
     "check_bf_flush_noop",
+    "check_resilient_engine",
 ]

@@ -10,7 +10,9 @@ but promise not to change *what* it computes:
 * engine workers — process-pool scheduling vs the serial loop;
 * the cell cache — a result loaded from disk vs freshly computed;
 * a BF flush timeout under batch size 1 — the flush loop can never see
-  a non-empty batch, so enabling it must be a no-op.
+  a non-empty batch, so enabling it must be a no-op;
+* the resilient engine — armed retries and a generous per-cell
+  deadline around a run that needs neither must leave it untouched.
 
 Each checker here executes both sides of one such promise and diffs the
 :class:`SimulationResults` field by field (NaN == NaN); any difference
@@ -38,6 +40,7 @@ __all__ = [
     "check_workers",
     "check_cache",
     "check_bf_flush_noop",
+    "check_resilient_engine",
     "differential_checks",
 ]
 
@@ -191,6 +194,54 @@ def check_bf_flush_noop(config: SimulationConfig) -> List[Violation]:
     return []
 
 
+def check_resilient_engine(
+    config: SimulationConfig, repetitions: int = 2
+) -> List[Violation]:
+    """Plain engine vs :class:`ResilientEngine` with the machinery armed.
+
+    Retries, the per-cell deadline (set far above what the run needs),
+    and the attempt accounting wrap *around* the simulation; a healthy
+    run must come out bit-identical.  Together with ``check_watchdog``
+    this licenses the resilience layer's core assumption: re-executing a
+    cell under a deadline yields the same results as the first try.
+    """
+    from ..experiments.resilience import ResilientEngine, RetryPolicy
+
+    reps = [
+        config.with_(replication=config.replication + i)
+        for i in range(repetitions)
+    ]
+    no_cache = CellCache(enabled=False)
+    with ExperimentEngine(workers=1, cache=no_cache) as plain:
+        expected = plain.run_cells(reps)
+    with ResilientEngine(
+        workers=1,
+        cache=no_cache,
+        retry=RetryPolicy(max_attempts=3),
+        cell_timeout=3600.0,
+    ) as resilient:
+        actual = resilient.run_cells(reps)
+    out: List[Violation] = []
+    for i, (e, a) in enumerate(zip(expected, actual)):
+        diffs = diff_results(e, a)
+        if diffs:
+            out.append(_diff_violation(
+                "differential.resilience", reps[i], diffs,
+                f"running replication {i} on the resilient engine",
+            ))
+    if resilient.stats.retries or resilient.stats.cell_timeouts:
+        out.append(Violation(
+            invariant="differential.resilience",
+            detail=(
+                "a healthy run consumed resilience machinery: "
+                f"{resilient.stats.retries} retries, "
+                f"{resilient.stats.cell_timeouts} deadline breaches"
+            ),
+            subject=_subject(config),
+        ))
+    return out
+
+
 def differential_checks(
     config: SimulationConfig,
     include_workers: bool = True,
@@ -201,6 +252,7 @@ def differential_checks(
     out.extend(check_watchdog(config))
     out.extend(check_cache(config))
     out.extend(check_bf_flush_noop(config))
+    out.extend(check_resilient_engine(config))
     if include_workers:
         out.extend(check_workers(config))
     return out
