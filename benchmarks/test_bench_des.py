@@ -6,6 +6,8 @@ ROCC simulation above it.
 """
 
 from repro.des import Environment, Resource, Store
+from repro.rocc.config import Architecture, ForwardingTopology, SimulationConfig
+from repro.rocc.system import simulate
 
 
 def _timeout_chain(n_events: int) -> float:
@@ -122,3 +124,27 @@ def _interleaved_model(n_processes: int, cycles: int) -> float:
 def test_multiprocess_contention_throughput(benchmark):
     result = benchmark(_interleaved_model, 20, 100)
     assert result >= 20 * 100 * 3.0  # serial bound on the CPU resource
+
+
+def _mpp_tree_cell() -> int:
+    """One second of a 64-node MPP tree cell: the single-large-cell
+    workload the ROADMAP's scale north-star cares about."""
+    results = simulate(SimulationConfig(
+        architecture=Architecture.MPP,
+        nodes=64,
+        forwarding=ForwardingTopology.TREE,
+        duration=1_000_000.0,
+        seed=1,
+    ))
+    return results.samples_received
+
+
+def test_mpp_tree_cell_64n(run_once):
+    """End-to-end kernel cost of a single large cell (64-node MPP tree).
+
+    This is the headline number for the in-cell hot path: everything —
+    scheduler, network transfers, CPU slices, pipes, metrics — sits on
+    it.  History in BENCH_DES.json records the pre-calendar-queue heap
+    kernel at ~0.94s on the reference machine."""
+    received = run_once(_mpp_tree_cell)
+    assert received > 0

@@ -40,7 +40,7 @@ from .exceptions import (
     SimulationStalled,
     StopSimulation,
 )
-from .monitor import Tally, TimeWeighted
+from .monitor import P2Quantile, ReservoirSample, Tally, TimeWeighted
 from .profiling import KernelProfiler, format_profile, merge_profiles
 from .resources import (
     Preempted,
@@ -80,6 +80,8 @@ __all__ = [
     "Store",
     "FilterStore",
     "Container",
+    "P2Quantile",
+    "ReservoirSample",
     "Tally",
     "TimeWeighted",
     "EventLog",

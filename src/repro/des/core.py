@@ -1,10 +1,12 @@
 """The simulation :class:`Environment`: clock, event queue, main loop.
 
-The environment owns the simulation clock (``env.now``) and a binary
-heap of scheduled events ordered by ``(time, priority, sequence)``.
-Model code creates events through the factory methods (:meth:`timeout`,
-:meth:`process`, :meth:`event`, ...) and drives the simulation with
-:meth:`run`.
+The environment owns the simulation clock (``env.now``) and a pluggable
+event scheduler (:mod:`repro.des.queues`) ordering scheduled events by
+``(time, priority, sequence)`` — a calendar queue by default, selectable
+via ``REPRO_DES_QUEUE={heap,calendar,ladder}``; every implementation
+pops in the identical total order.  Model code creates events through
+the factory methods (:meth:`timeout`, :meth:`process`, :meth:`event`,
+...) and drives the simulation with :meth:`run`.
 
 Time is a plain ``float``; this package uses **microseconds** throughout
 the ROCC model, but the kernel itself is unit-agnostic.
@@ -13,10 +15,9 @@ the ROCC model, but the kernel itself is unit-agnostic.
 from __future__ import annotations
 
 import os
-from heapq import heappop, heappush, nsmallest
 from itertools import count
 from time import monotonic
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Generator, Iterable, List, Optional
 
 from .events import (
     HOLD_COMPLETED,
@@ -36,6 +37,7 @@ from .exceptions import (
     SimulationStalled,
     StopSimulation,
 )
+from .queues import make_scheduler
 
 __all__ = ["Environment", "Infinity"]
 
@@ -72,7 +74,11 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now: float = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        #: The event scheduler (``REPRO_DES_QUEUE`` selects the
+        #: implementation); ``_push`` is its bound enqueue, cached so
+        #: the factory hot paths pay one attribute load, not two.
+        self._scheduler = make_scheduler()
+        self._push = self._scheduler.push
         self._eid = count()
         self._active_proc: Optional[Process] = None
         #: Optional observers invoked as ``tracer(event, now)`` for every
@@ -104,7 +110,12 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
-        return self._queue[0][0] if self._queue else Infinity
+        return self._scheduler.peek_time()
+
+    @property
+    def scheduler(self):
+        """The active event scheduler (see :mod:`repro.des.queues`)."""
+        return self._scheduler
 
     def add_tracer(self, tracer) -> None:
         """Register an observer called as ``tracer(event, now)`` for every
@@ -120,7 +131,7 @@ class Environment:
 
     def __len__(self) -> int:
         """Number of scheduled (not yet processed) events."""
-        return len(self._queue)
+        return len(self._scheduler)
 
     # ------------------------------------------------------------------
     # Event factories
@@ -147,7 +158,7 @@ class Environment:
         t._ok = True
         t._defused = False
         t._delay = delay
-        heappush(self._queue, (self._now + delay, NORMAL, next(self._eid), t))
+        self._push((self._now + delay, NORMAL, next(self._eid), t))
         return t
 
     def hold(self, delay: float):
@@ -172,7 +183,7 @@ class Environment:
         hold = pool.pop() if pool else Hold()
         hold.proc = proc
         proc._target = hold
-        heappush(self._queue, (self._now + delay, NORMAL, next(self._eid), hold))
+        self._push((self._now + delay, NORMAL, next(self._eid), hold))
         return HOLD_COMPLETED
 
     def process(
@@ -196,7 +207,7 @@ class Environment:
     # ------------------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Queue *event* to be processed ``delay`` time units from now."""
-        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        self._push((self._now + delay, priority, next(self._eid), event))
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -206,7 +217,7 @@ class Environment:
         (an unhandled simulation error).
         """
         try:
-            self._now, _, _, event = heappop(self._queue)
+            self._now, _, _, event = self._scheduler.pop()
         except IndexError:
             raise EmptySchedule() from None
 
@@ -339,8 +350,7 @@ class Environment:
         raising :class:`StopSimulation` / :class:`EmptySchedule`, which
         :meth:`run` handles.
         """
-        pop = heappop
-        queue = self._queue
+        pop = self._scheduler.pop
         tracers = self._tracers  # mutated in place by add/remove_tracer
         hold_pool = self._hold_pool
         timeout_pool = self._timeout_pool
@@ -351,7 +361,7 @@ class Environment:
         pool_limit = _POOL_LIMIT
         while True:
             try:
-                now, _, _, event = pop(queue)
+                now, _, _, event = pop()
             except IndexError:
                 raise EmptySchedule() from None
             self._now = now
@@ -393,7 +403,7 @@ class Environment:
     def _stalled(self, reason: str, steps: int) -> SimulationStalled:
         """Build a :class:`SimulationStalled` naming blocked processes."""
         blocked: List[str] = []
-        for _, _, _, event in nsmallest(16, self._queue):
+        for _, _, _, event in self._scheduler.smallest(16):
             if type(event) is Hold:
                 # Fast-path holds carry the parked process directly
                 # instead of a callbacks list.

@@ -170,6 +170,10 @@ class KernelProfiler:
                 ),
                 "max": self._heap_max,
             },
+            # Scheduler's own operation counters (enqueues, dequeues,
+            # bucket resizes, max bucket occupancy) — the calendar
+            # queue's health at a glance.
+            "queue": dict(self.env.scheduler.stats()),
         }
 
 
@@ -211,6 +215,22 @@ def merge_profiles(a: Optional[dict], b: Optional[dict]) -> Optional[dict]:
             ),
             "max": max(a["heap"]["max"], b["heap"]["max"]),
         },
+        "queue": _merge_queue(a.get("queue"), b.get("queue")),
+    }
+
+
+def _merge_queue(qa: Optional[dict], qb: Optional[dict]) -> dict:
+    """Combine scheduler counter sections (tolerates legacy profiles)."""
+    qa = qa or {}
+    qb = qb or {}
+    impl_a = qa.get("impl", "?")
+    impl_b = qb.get("impl", "?")
+    return {
+        "impl": impl_a if impl_a == impl_b else f"{impl_a}+{impl_b}",
+        "enqueues": qa.get("enqueues", 0) + qb.get("enqueues", 0),
+        "dequeues": qa.get("dequeues", 0) + qb.get("dequeues", 0),
+        "resizes": qa.get("resizes", 0) + qb.get("resizes", 0),
+        "max_bucket": max(qa.get("max_bucket", 0), qb.get("max_bucket", 0)),
     }
 
 
@@ -226,8 +246,17 @@ def format_profile(profile: Optional[dict]) -> str:
         f"  heap occupancy: mean {profile['heap']['mean']:.1f}, "
         f"max {profile['heap']['max']} "
         f"({profile['heap']['samples']} samples)",
-        "  by event kind:",
     ]
+    queue = profile.get("queue")
+    if queue:
+        lines.append(
+            f"  event queue [{queue.get('impl', '?')}]: "
+            f"{queue.get('enqueues', 0):,} enqueues, "
+            f"{queue.get('dequeues', 0):,} dequeues, "
+            f"{queue.get('resizes', 0)} resizes, "
+            f"max bucket {queue.get('max_bucket', 0)}"
+        )
+    lines.append("  by event kind:")
     for kind, row in sorted(
         profile["by_kind"].items(), key=lambda kv: kv[1]["wall_seconds"], reverse=True
     ):

@@ -16,11 +16,10 @@ a :class:`Preempted` cause.
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
 from typing import TYPE_CHECKING, Any, List, Optional
 
 from .events import Event, Process
+from .queues import TieBreakingHeap
 
 if TYPE_CHECKING:  # pragma: no cover
     from .core import Environment
@@ -185,8 +184,9 @@ class PriorityResource(Resource):
 
     def __init__(self, env: "Environment", capacity: int = 1):
         super().__init__(env, capacity)
-        self._heap: List[tuple] = []
-        self._tie = count()
+        # Shared kernel tie-breaking discipline: FIFO among equal keys,
+        # requests themselves never compared.
+        self._heap = TieBreakingHeap()
 
     def _do_request(self, request: Request) -> None:
         if len(self.users) < self._capacity:
@@ -195,12 +195,12 @@ class PriorityResource(Resource):
             self._enqueue(request)
 
     def _enqueue(self, request: PriorityRequest) -> None:
-        heapq.heappush(self._heap, (request.key, next(self._tie), request))
+        self._heap.push(request.key, request)
         self.queue.append(request)  # kept for inspection/len()
 
     def _pop_next(self) -> Request:
         while True:
-            _, _, request = heapq.heappop(self._heap)
+            request = self._heap.pop()
             if request in self.queue:
                 self.queue.remove(request)
                 return request

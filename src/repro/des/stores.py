@@ -115,11 +115,53 @@ class Store:
         return self._get_waiters
 
     def put(self, item: Any) -> StorePut:
-        """Offer *item* to the store; the returned event fires on accept."""
+        """Offer *item* to the store; the returned event fires on accept.
+
+        A put that can proceed immediately returns an *already-processed*
+        event: a yielding process continues synchronously instead of
+        taking a trip through the kernel schedule, and a parked getter
+        (if any) is handed the item directly.  Semantics are unchanged —
+        acceptance still happens at the current simulation time — but a
+        producer looping on nothing but non-blocking puts never yields
+        control, so interleave real work (as every model here does).
+        """
+        if len(self.items) < self._capacity and not self._put_waiters:
+            getters = self._get_waiters
+            if getters:
+                # Hand straight to the oldest waiting getter (FIFO): the
+                # item would be popped again at this same instant anyway.
+                getters.pop(0).succeed(item)
+            else:
+                self.items.append(item)
+            ev = StorePut.__new__(StorePut)
+            ev.env = self.env
+            ev.callbacks = None  # already processed
+            ev._value = None
+            ev._ok = True
+            ev._defused = False
+            ev.store = self
+            ev.item = item
+            return ev
         return StorePut(self, item)
 
     def get(self) -> StoreGet:
-        """Request the next item; the event's value is the item."""
+        """Request the next item; the event's value is the item.
+
+        Like :meth:`put`, a get that finds an item returns an
+        already-processed event carrying it.
+        """
+        items = self.items
+        if items and not self._get_waiters:
+            ev = StoreGet.__new__(StoreGet)
+            ev.env = self.env
+            ev.callbacks = None  # already processed
+            ev._value = items.pop(0)
+            ev._ok = True
+            ev._defused = False
+            ev.store = self
+            if self._put_waiters:
+                self._trigger()  # space freed: admit a blocked put
+            return ev
         return StoreGet(self)
 
     # -- internals ------------------------------------------------------
@@ -164,7 +206,15 @@ class FilterStore(Store):
 
     Getters are still served in FIFO order, but a getter whose filter
     matches no current item does not block getters behind it.
+
+    Filtered matching cannot use the base class's direct-handoff fast
+    paths (a waiting getter may reject the incoming item), so puts and
+    gets always go through real events here.
     """
+
+    def put(self, item: Any) -> StorePut:
+        """Offer *item*; waiting getters are matched through filters."""
+        return StorePut(self, item)
 
     def get(self, filter: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:
         """Request the first item satisfying *filter*."""

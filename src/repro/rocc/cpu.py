@@ -4,9 +4,18 @@ The paper's ROCC model shares each node's CPU(s) among application, IS,
 and other processes under the operating system's round-robin policy
 with a 10 ms quantum (Table 2).  :class:`RoundRobinCPU` implements that
 exactly: occupancy requests join a FIFO ready queue; each of the
-``n_cpus`` servers repeatedly dequeues the head request, runs it for
+``n_cpus`` processors repeatedly takes the head request, runs it for
 ``min(quantum, remaining)``, and re-queues it at the tail if unfinished
 ("time out" transition of Figure 6).
+
+The scheduler is *event-driven*: there are no server processes.  A
+request that finds a free processor schedules its first slice directly;
+slice-expiry and completion are kernel events whose callbacks charge
+accounting and dispatch the next queued job.  A request shorter than
+one quantum — the overwhelmingly common case for daemon collect/forward
+costs against a 10 ms quantum — therefore costs exactly one kernel
+event (its completion), where the process-per-server shape cost a
+wake-up, a hold, and a separate completion event.
 
 A processor-sharing variant (:class:`ProcessorSharingCPU`) is provided
 for the ablation study of quantum effects (DESIGN.md §5.2): it services
@@ -25,7 +34,7 @@ from collections import deque
 from typing import Deque, Dict, Optional
 
 from ..des.core import Environment
-from ..des.events import Event
+from ..des.events import NORMAL, PENDING, Event
 from ..des.monitor import TimeWeighted
 from ..workload.records import ProcessType
 
@@ -42,6 +51,74 @@ class CPUJob:
         self.owner = owner
         self.event = event
         self.enqueued_at = now
+
+
+class CPUDone(Event):
+    """Completion event of one CPU request.
+
+    Returned by :meth:`RoundRobinCPU.execute` and scheduled when the
+    job's *final* slice starts.  It stays untriggered until it pops;
+    ``_finish`` (its first callback) charges the slice and hands the
+    processor to the next queued job before any waiter resumes.
+    """
+
+    __slots__ = ("_cpu", "_owner", "_slice")
+
+    def __init__(self, cpu: "RoundRobinCPU", owner: ProcessType):
+        self.env = cpu.env
+        self.callbacks = [self._finish]
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._cpu = cpu
+        self._owner = owner
+        self._slice = 0.0
+
+    def _finish(self, _event: Event) -> None:
+        cpu = self._cpu
+        busy = cpu.busy_by_owner
+        owner = self._owner
+        busy[owner] = busy.get(owner, 0.0) + self._slice
+        self._value = None
+        ready = cpu._ready
+        if ready:
+            cpu._start(ready.popleft())
+        else:
+            cpu._free += 1
+            cpu.busy_servers.increment(-1, cpu.env._now)
+
+
+class CPUSlice(Event):
+    """An intermediate round-robin quantum of a longer request.
+
+    Pure kernel bookkeeping: nobody waits on it, so it is created
+    already-triggered and defused; its callback re-queues the job at
+    the ready-queue tail and dispatches the head ("time out").
+    """
+
+    __slots__ = ("_cpu", "_job")
+
+    def __init__(self, cpu: "RoundRobinCPU", job: CPUJob):
+        self.env = cpu.env
+        self.callbacks = [self._expire]
+        self._value = None
+        self._ok = True
+        self._defused = True
+        self._cpu = cpu
+        self._job = job
+
+    def _expire(self, _event: Event) -> None:
+        # An intermediate slice is always exactly one quantum (anything
+        # shorter would have been the final slice).
+        cpu = self._cpu
+        job = self._job
+        quantum = cpu.quantum
+        busy = cpu.busy_by_owner
+        busy[job.owner] = busy.get(job.owner, 0.0) + quantum
+        job.remaining -= quantum
+        ready = cpu._ready
+        ready.append(job)
+        cpu._start(ready.popleft())
 
 
 class RoundRobinCPU:
@@ -81,23 +158,36 @@ class RoundRobinCPU:
         #: keep their nominal durations (a documented approximation).
         self.speed = 1.0
         self._ready: Deque[CPUJob] = deque()
-        self._idle: Deque[Event] = deque()  # wake events of idle servers
+        self._free = self.n_cpus
         #: Accumulated busy time per owning process class, µs.
         self.busy_by_owner: Dict[ProcessType, float] = {}
         #: Time-weighted number of busy servers (for utilization).
         self.busy_servers = TimeWeighted(f"{name}.busy", start_time=env.now)
-        for i in range(self.n_cpus):
-            env.process(self._server(), name=f"{name}.server{i}")
 
     # ------------------------------------------------------------------
     def execute(self, amount: float, owner: ProcessType) -> Event:
         """Submit a CPU occupancy request; the event fires on completion."""
-        done = Event(self.env)
         if amount <= 0.0:
+            done = Event(self.env)
             done.succeed()
             return done
-        job = CPUJob(float(amount) / self.speed, owner, done, self.env.now)
-        self._enqueue(job)
+        done = CPUDone(self, owner)
+        scaled = float(amount) / self.speed
+        quantum = self.quantum
+        slice_ = scaled if scaled < quantum else quantum
+        if self._free and scaled - slice_ <= 1e-9:
+            # Free processor, fits one slice (the common case for daemon
+            # collect/forward costs against a 10 ms quantum): schedule
+            # completion directly, no ready-queue job.  The slice algebra
+            # mirrors ``_start`` exactly so timestamps are identical to
+            # the queued path.
+            self._free -= 1
+            env = self.env
+            self.busy_servers.increment(+1, env._now)
+            done._slice = slice_
+            env._push((env._now + slice_, NORMAL, next(env._eid), done))
+            return done
+        self._enqueue(CPUJob(scaled, owner, done, self.env.now))
         return done
 
     def set_speed(self, speed: float) -> None:
@@ -122,46 +212,30 @@ class RoundRobinCPU:
 
     # ------------------------------------------------------------------
     def _enqueue(self, job: CPUJob) -> None:
-        self._ready.append(job)
-        if self._idle:
-            self._idle.popleft().succeed()
+        if self._free:
+            self._free -= 1
+            self.busy_servers.increment(+1, self.env.now)
+            self._start(job)
+        else:
+            self._ready.append(job)
 
-    def _server(self):
-        # Hot loop: locals are hoisted, slices sleep on the allocation-free
-        # ``env.hold`` fast path, and the paired busy_servers -1/+1 at the
-        # same instant (server continues with the next job) collapses into
-        # no update at all — the zero-width dip contributes nothing to the
-        # time integral.  Per-slice ``busy_by_owner`` accounting is kept
-        # in submission order so reported CPU times stay bit-identical.
-        env = self.env
-        hold = env.hold
-        busy = self.busy_by_owner
-        ready = self._ready
-        idle = self._idle
+    def _start(self, job: CPUJob) -> None:
+        """Schedule the next slice of *job* on the processor just freed.
+
+        Back-to-back dispatch from a finishing slice's callback leaves
+        ``busy_servers`` untouched — the zero-width -1/+1 dip would
+        contribute nothing to the time integral.
+        """
+        remaining = job.remaining
         quantum = self.quantum
-        increment = self.busy_servers.increment
-        running = False
-        while True:
-            if not ready:
-                if running:
-                    increment(-1, env.now)
-                    running = False
-                wake = Event(env)
-                idle.append(wake)
-                yield wake
-                continue
-            job = ready.popleft()
-            slice_ = job.remaining if job.remaining < quantum else quantum
-            if not running:
-                increment(+1, env.now)
-                running = True
-            yield hold(slice_)
-            busy[job.owner] = busy.get(job.owner, 0.0) + slice_
-            job.remaining -= slice_
-            if job.remaining > 1e-9:
-                ready.append(job)  # tail: round robin
-            else:
-                job.event.succeed()
+        slice_ = remaining if remaining < quantum else quantum
+        if remaining - slice_ > 1e-9:
+            ev: Event = CPUSlice(self, job)
+        else:
+            ev = job.event
+            ev._slice = slice_
+        env = self.env
+        env._push((env._now + slice_, NORMAL, next(env._eid), ev))
 
 
 class ProcessorSharingCPU(RoundRobinCPU):
@@ -181,20 +255,24 @@ class ProcessorSharingCPU(RoundRobinCPU):
         name: str = "cpu-ps",
     ):
         super().__init__(env, n_cpus=n_cpus, quantum=quantum, name=name)
-        # The RR servers spawned by the base class idle forever; PS keeps
-        # its own active set.
         self._active: Dict[CPUJob, float] = {}  # job -> remaining
         self._recalc = Event(env)
         env.process(self._ps_loop(), name=f"{name}.ps")
+
+    def execute(self, amount: float, owner: ProcessType) -> Event:
+        # PS completions are plain events triggered by the loop below;
+        # the RR slice machinery (CPUDone/CPUSlice) is never engaged.
+        done = Event(self.env)
+        if amount <= 0.0:
+            done.succeed()
+            return done
+        self._enqueue(CPUJob(float(amount) / self.speed, owner, done, self.env.now))
+        return done
 
     def _enqueue(self, job: CPUJob) -> None:  # type: ignore[override]
         self._active[job] = job.remaining
         if not self._recalc.triggered:
             self._recalc.succeed()
-
-    def _server(self):  # type: ignore[override]
-        # Base-class servers unused in PS mode.
-        yield Event(self.env)
 
     def _rate(self) -> float:
         n = len(self._active)

@@ -222,9 +222,7 @@ class ParadynDaemon:
                 while len(self.pipe) > 0 and len(pending) < burst:
                     ready = self.pipe.get()
                     pending.append(ready.value)
-                cost = 0.0
-                for _ in pending:
-                    cost += self._collect_cpu()
+                cost = self._collect_cpu.take_sum(len(pending))
                 yield cpu.execute(cost, ProcessType.PARADYN_DAEMON)
                 while pending:
                     s = pending.popleft()

@@ -25,10 +25,80 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..des.monitor import Tally
+from ..des.monitor import P2Quantile, ReservoirSample, Tally
 from ..workload.records import ProcessType
 
-__all__ = ["Metrics", "SimulationResults"]
+__all__ = ["Metrics", "NodeCounter", "SimulationResults"]
+
+#: Latency observations kept as an exact raw series.  Below this cap,
+#: percentiles are exact ``np.percentile`` order statistics; past it the
+#: recorder switches to O(1)-memory streaming estimators (P² for
+#: p50/p90/p99, a reservoir for other quantiles), keeping peak RSS flat
+#: for arbitrarily long runs.
+RAW_LATENCY_CAP = 65536
+
+#: Reservoir size once the raw series overflows.
+_RESERVOIR_SIZE = 4096
+
+
+class NodeCounter:
+    """Per-node event counter backed by one growing list.
+
+    Struct-of-arrays replacement for the former per-metric dicts: node
+    ids are small dense integers, so a list indexed by node is both
+    smaller and faster than hashing the id on every count.  The mapping
+    interface (:meth:`values`, :meth:`items`, indexing) matches how the
+    results aggregation consumed the dicts.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: List[int] = []
+
+    def add(self, node: int, n: int = 1) -> None:
+        """Add *n* to *node*'s count, growing the table as needed."""
+        counts = self._counts
+        grow = node + 1 - len(counts)
+        if grow > 0:
+            counts.extend([0] * grow)
+        counts[node] += n
+
+    def __getitem__(self, node: int) -> int:
+        if 0 <= node < len(self._counts):
+            return self._counts[node]
+        return 0
+
+    def get(self, node: int, default: int = 0) -> int:
+        if 0 <= node < len(self._counts):
+            return self._counts[node]
+        return default
+
+    def values(self) -> List[int]:
+        return list(self._counts)
+
+    def items(self):
+        return list(enumerate(self._counts))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return any(self._counts)
+
+    def to_dict(self) -> Dict[int, int]:
+        """Sparse mapping view (zero counts omitted), the old dict shape."""
+        return {i: c for i, c in enumerate(self._counts) if c}
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, NodeCounter):
+            return self.to_dict() == other.to_dict()
+        if isinstance(other, dict):
+            return self.to_dict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeCounter({self.to_dict()!r})"
 
 
 class Metrics:
@@ -59,15 +129,23 @@ class Metrics:
         self._lat_total_raw: List[float] = []
         self._lat_fwd_flushed = 0
         self._lat_total_flushed = 0
+        #: Exact-retention cap for the raw latency series (see
+        #: :data:`RAW_LATENCY_CAP`; tests shrink it to exercise the
+        #: streaming path cheaply).
+        self.raw_cap = RAW_LATENCY_CAP
+        self._lat_fwd_p2: Optional[List[P2Quantile]] = None
+        self._lat_fwd_res: Optional[ReservoirSample] = None
+        self._lat_fwd_streamed = 0
+        self._lat_total_streamed = 0
         self.samples_generated = 0
         self.samples_received = 0
         self.batches_received = 0
         #: Samples forwarded per daemon node (local throughput numerator).
-        self.forwarded_by_node: Dict[int, int] = {}
+        self.forwarded_by_node = NodeCounter()
         #: Forwarding calls (system calls) per daemon node.
-        self.forward_calls_by_node: Dict[int, int] = {}
+        self.forward_calls_by_node = NodeCounter()
         #: Merge operations performed by tree daemons, per node.
-        self.merges_by_node: Dict[int, int] = {}
+        self.merges_by_node = NodeCounter()
         #: Total time application writers spent blocked on full pipes, µs.
         self.pipe_blocked_time = 0.0
         self.pipe_blocked_puts = 0
@@ -139,6 +217,9 @@ class Metrics:
         self._lat_fwd = tally
         self._lat_fwd_raw = []
         self._lat_fwd_flushed = 0
+        self._lat_fwd_p2 = None
+        self._lat_fwd_res = None
+        self._lat_fwd_streamed = 0
 
     @property
     def latency_total(self) -> Tally:
@@ -151,6 +232,32 @@ class Metrics:
         self._lat_total = tally
         self._lat_total_raw = []
         self._lat_total_flushed = 0
+        self._lat_total_streamed = 0
+
+    def _stream_fwd(self, value: float) -> None:
+        """Fold one forwarding latency past the raw cap (O(1) memory)."""
+        p2 = self._lat_fwd_p2
+        if p2 is None:
+            # First overflow: flush the exact prefix into the tally (so
+            # later direct observes keep arrival order) and seed the
+            # streaming estimators with it, so they describe the whole
+            # stream, not just the tail.
+            self._flush_fwd()
+            p2 = [P2Quantile(0.5), P2Quantile(0.9), P2Quantile(0.99)]
+            res = ReservoirSample(_RESERVOIR_SIZE, name="latency_forwarding")
+            for v in self._lat_fwd_raw:
+                p2[0].observe(v)
+                p2[1].observe(v)
+                p2[2].observe(v)
+                res.observe(v)
+            self._lat_fwd_p2 = p2
+            self._lat_fwd_res = res
+        self._lat_fwd.observe(value)
+        p2[0].observe(value)
+        p2[1].observe(value)
+        p2[2].observe(value)
+        self._lat_fwd_res.observe(value)
+        self._lat_fwd_streamed += 1
 
     def latency_percentiles(self, qs=(50.0, 90.0, 99.0)) -> Dict[float, float]:
         """Order statistics of the forwarding latency, from the raw series.
@@ -174,24 +281,42 @@ class Metrics:
                 )
             return {q: math.nan for q in qs}
         self._flush_fwd()
-        if self._lat_fwd.count != len(self._lat_fwd_raw):
+        observed = len(self._lat_fwd_raw) + self._lat_fwd_streamed
+        if self._lat_fwd.count != observed:
             raise ValueError(
                 "raw latency series out of sync with the forwarding tally "
-                f"({len(self._lat_fwd_raw)} raw vs {self._lat_fwd.count} "
+                f"({observed} raw vs {self._lat_fwd.count} "
                 "tallied); percentiles would mix data sets"
             )
         arr = np.asarray(self._lat_fwd_raw)
         if not np.all(np.isfinite(arr)):
             raise ValueError("non-finite forwarding latency observed")
-        values = np.percentile(arr, qs)
-        return {q: float(v) for q, v in zip(qs, values)}
+        if self._lat_fwd_p2 is None:
+            # Exact path: the whole stream is retained.
+            values = np.percentile(arr, qs)
+            return {q: float(v) for q, v in zip(qs, values)}
+        # Streaming path: P² estimates for the canonical percentiles,
+        # reservoir order statistics for anything else.
+        res_arr = np.asarray(self._lat_fwd_res.items)
+        if not np.all(np.isfinite(res_arr)):
+            raise ValueError("non-finite forwarding latency observed")
+        p2_by_q = {50.0: self._lat_fwd_p2[0], 90.0: self._lat_fwd_p2[1],
+                   99.0: self._lat_fwd_p2[2]}
+        out: Dict[float, float] = {}
+        for q in qs:
+            est = p2_by_q.get(float(q))
+            if est is not None:
+                out[q] = est.value
+            else:
+                out[q] = float(np.percentile(res_arr, q))
+        return out
 
     def note_forward(self, node: int, n_samples: int) -> None:
-        self.forwarded_by_node[node] = self.forwarded_by_node.get(node, 0) + n_samples
-        self.forward_calls_by_node[node] = self.forward_calls_by_node.get(node, 0) + 1
+        self.forwarded_by_node.add(node, n_samples)
+        self.forward_calls_by_node.add(node)
 
     def note_merge(self, node: int) -> None:
-        self.merges_by_node[node] = self.merges_by_node.get(node, 0) + 1
+        self.merges_by_node.add(node)
 
     def note_receipt(self, now: float, created_at: float, ready_at: float) -> bool:
         """Record one sample's receipt; returns whether it was counted.
@@ -199,12 +324,26 @@ class Metrics:
         Samples created before the measurement :attr:`epoch` (i.e. before
         the warmup boundary) are ignored — they were never counted as
         generated, so counting their receipt would break conservation.
+
+        The first :attr:`raw_cap` latencies are buffered exactly (one
+        list append); past the cap the recorder streams into O(1)-memory
+        estimators so long runs stay memory-flat.
         """
         if created_at < self.epoch:
             return False
         self.samples_received += 1
-        self._lat_total_raw.append(now - created_at)
-        self._lat_fwd_raw.append(now - ready_at)
+        raw = self._lat_total_raw
+        if len(raw) < self.raw_cap:
+            raw.append(now - created_at)
+        else:
+            self._flush_total()
+            self._lat_total.observe(now - created_at)
+            self._lat_total_streamed += 1
+        raw = self._lat_fwd_raw
+        if len(raw) < self.raw_cap:
+            raw.append(now - ready_at)
+        else:
+            self._stream_fwd(now - ready_at)
         return True
 
     def note_drop(self, node: int, n_samples: int, reason: str) -> None:

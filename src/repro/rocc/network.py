@@ -13,6 +13,17 @@ Both support a ``deliver`` callback per transfer so forwarding
 topologies can hand batches to the receiving daemon or the main Paradyn
 process at delivery time.
 
+A transfer is a *self-scheduling event*: :meth:`BaseNetwork.transfer`
+returns a :class:`Transfer` that sits directly on the kernel schedule
+for its completion time, and resolution (fault outcomes, delivery,
+accounting) happens in its first callback when it pops.  That costs one
+kernel event per transfer where the earlier process-per-transfer shape
+cost four (Initialize, the process, its hold, and a separate completion
+event) — the dominant saving for large contention-free cells.  The
+event stays *untriggered* until it pops: senders and crash-cleanup code
+test ``ev.triggered`` to mean "the outcome is known", which must not
+become true before completion time.
+
 When a :class:`~repro.faults.injector.FaultInjector` is attached (the
 ``injector`` attribute, set by the system builder when
 ``config.faults`` is given), every transfer *with a receiver* consults
@@ -29,18 +40,105 @@ duplicate samples.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional
 
 from ..des.core import Environment
-from ..des.events import Event
+from ..des.events import NORMAL, PENDING, Event
 from ..des.monitor import TimeWeighted
 from ..faults.injector import OUTCOME_CORRUPT, OUTCOME_LOST
 from ..faults.spec import MessageLost
 from ..workload.records import ProcessType
 
-__all__ = ["BaseNetwork", "FIFONetwork", "ContentionFreeNetwork"]
+__all__ = ["BaseNetwork", "FIFONetwork", "ContentionFreeNetwork", "Transfer"]
 
 DeliverFn = Callable[[object], None]
+
+
+class Transfer(Event):
+    """A network transfer scheduled directly for its completion time.
+
+    Created untriggered with ``_finish`` as its first callback; waiters
+    registered by ``yield`` run after it, observing the resolved
+    ``ok``/``value`` exactly as with a separately-triggered event.
+    """
+
+    __slots__ = ("_net", "_amount", "_owner", "_payload", "_deliver")
+
+    def __init__(
+        self,
+        net: "BaseNetwork",
+        amount: float,
+        owner: ProcessType,
+        payload: object,
+        deliver: Optional[DeliverFn],
+    ):
+        # Bypass Event.__init__: same slot setup, minus a super() call.
+        self.env = net.env
+        self.callbacks = [self._finish]
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._net = net
+        self._amount = amount
+        self._owner = owner
+        self._payload = payload
+        self._deliver = deliver
+
+    def _start(self) -> None:
+        """Schedule completion ``amount`` time units from now."""
+        env = self.env
+        env._push((env._now + self._amount, NORMAL, next(env._eid), self))
+
+    def _resolve(self) -> None:
+        """Apply fault outcomes, deliver, and set the event's outcome.
+
+        Runs at pop time (completion).  The sender that timed out and
+        ``cancelled`` its payload gets a silent success (delivery
+        suppressed); a lost message fails the event so a waiting sender
+        can recover — a failed transfer nobody waits for is defused by
+        the sender's crash cleanup or its `AnyOf` timeout condition.
+        """
+        net = self._net
+        net._account(self._amount, self._owner)
+        payload = self._payload
+        if getattr(payload, "cancelled", False):
+            self._value = None
+            return
+        deliver = self._deliver
+        if deliver is not None:
+            if net.injector is not None:
+                outcome = net.injector.message_outcome()
+                if outcome == OUTCOME_LOST:
+                    self._ok = False
+                    self._value = MessageLost(payload)
+                    return
+                if outcome == OUTCOME_CORRUPT:
+                    payload.corrupted = True
+            deliver(payload)
+        self._value = None
+
+    def _finish(self, _event: Event) -> None:
+        net = self._net
+        net.in_flight.increment(-1, self.env._now)
+        self._resolve()
+
+
+class QueuedTransfer(Transfer):
+    """A transfer on a single shared FIFO server (Ethernet / bus)."""
+
+    __slots__ = ()
+
+    def _finish(self, _event: Event) -> None:
+        self._resolve()
+        # Hand the server to the next queued transfer at this instant;
+        # the zero-width in_flight -1/+1 pair collapses into no update.
+        net = self._net
+        queue = net._queue
+        if queue:
+            queue.popleft()._start()
+        else:
+            net._busy = False
+            net.in_flight.increment(-1, self.env._now)
 
 
 class BaseNetwork:
@@ -93,14 +191,7 @@ class BaseNetwork:
     def _complete(
         self, payload: object, deliver: Optional[DeliverFn], done: Event
     ) -> None:
-        """Finish one transfer: apply fault outcomes, deliver, resolve.
-
-        The sender that timed out and ``cancelled`` its payload gets a
-        silent success (delivery suppressed); a lost message fails the
-        event so a waiting sender can recover.  A failed event whose
-        sender stopped waiting is defused by the sender's `AnyOf`
-        timeout condition, so late losses never crash the run.
-        """
+        """Synchronous completion for zero-length transfers."""
         if getattr(payload, "cancelled", False):
             done.succeed()
             return
@@ -117,13 +208,17 @@ class BaseNetwork:
 
 
 class FIFONetwork(BaseNetwork):
-    """Single shared server with a FIFO queue (Ethernet / bus)."""
+    """Single shared server with a FIFO queue (Ethernet / bus).
+
+    Event-driven: there is no server process.  An arriving transfer
+    starts immediately when the server is free; otherwise it waits in
+    ``_queue`` and is started by the finishing transfer's callback.
+    """
 
     def __init__(self, env: Environment, name: str = "network"):
         super().__init__(env, name)
-        self._queue: Deque[Tuple[float, ProcessType, object, Optional[DeliverFn], Event]] = deque()
-        self._wake: Optional[Event] = None
-        env.process(self._server(), name=f"{name}.server")
+        self._queue: Deque[QueuedTransfer] = deque()
+        self._busy = False
 
     def transfer(
         self,
@@ -132,44 +227,22 @@ class FIFONetwork(BaseNetwork):
         payload: object = None,
         deliver: Optional[DeliverFn] = None,
     ) -> Event:
-        done = Event(self.env)
         if amount <= 0.0:
+            done = Event(self.env)
             self._complete(payload, deliver, done)
             return done
-        self._queue.append((float(amount), owner, payload, deliver, done))
-        if self._wake is not None and not self._wake.triggered:
-            self._wake.succeed()
-        return done
+        ev = QueuedTransfer(self, float(amount), owner, payload, deliver)
+        if self._busy:
+            self._queue.append(ev)
+        else:
+            self._busy = True
+            self.in_flight.increment(+1, self.env.now)
+            ev._start()
+        return ev
 
     @property
     def queue_length(self) -> int:
         return len(self._queue)
-
-    def _server(self):
-        # Hot loop: transfers sleep on the allocation-free ``env.hold``
-        # fast path, and back-to-back transfers skip the zero-width
-        # in_flight -1/+1 pair (no effect on the time integral).
-        env = self.env
-        hold = env.hold
-        queue = self._queue
-        increment = self.in_flight.increment
-        busy = False
-        while True:
-            if not queue:
-                if busy:
-                    increment(-1, env.now)
-                    busy = False
-                self._wake = Event(env)
-                yield self._wake
-                self._wake = None
-                continue
-            amount, owner, payload, deliver, done = queue.popleft()
-            if not busy:
-                increment(+1, env.now)
-                busy = True
-            yield hold(amount)
-            self._account(amount, owner)
-            self._complete(payload, deliver, done)
 
 
 class ContentionFreeNetwork(BaseNetwork):
@@ -188,24 +261,13 @@ class ContentionFreeNetwork(BaseNetwork):
         payload: object = None,
         deliver: Optional[DeliverFn] = None,
     ) -> Event:
-        done = Event(self.env)
         if amount <= 0.0:
+            done = Event(self.env)
             self._complete(payload, deliver, done)
             return done
-        self.env.process(self._one(amount, owner, payload, deliver, done))
-        return done
-
-    def _one(
-        self,
-        amount: float,
-        owner: ProcessType,
-        payload: object,
-        deliver: Optional[DeliverFn],
-        done: Event,
-    ):
+        amount = float(amount)
+        ev = Transfer(self, amount, owner, payload, deliver)
         env = self.env
-        self.in_flight.increment(+1, env.now)
-        yield env.hold(amount)
-        self.in_flight.increment(-1, env.now)
-        self._account(amount, owner)
-        self._complete(payload, deliver, done)
+        self.in_flight.increment(+1, env._now)
+        env._push((env._now + amount, NORMAL, next(env._eid), ev))
+        return ev

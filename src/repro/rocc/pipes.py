@@ -12,6 +12,7 @@ spent blocked.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from ..des.core import Environment
@@ -95,6 +96,13 @@ class SamplePipe:
         #: Number of stall windows injected and their total span, µs.
         self.stalls = 0
         self.stalled_time = 0.0
+        # Start times of in-flight blocked puts; the store resolves put
+        # waiters FIFO, so popleft pairs each wait with its own start.
+        self._blocked_since: deque = deque()
+        # Bound once: blocked puts/gets are the hot path of §4.3.3 runs
+        # and must not allocate a closure per blocked operation.
+        self._charge_cb = self._charge_block
+        self._occupancy_cb = self._update_occupancy
 
     def __len__(self) -> int:
         # A stalled pipe looks empty to its reader: the daemon's burst
@@ -147,15 +155,17 @@ class SamplePipe:
         event = self._store.put(sample)
         if not event.triggered:
             self.blocked_puts += 1
-            event.callbacks.append(
-                lambda _ev, _t0=started: self._charge_block(_t0)
-            )
+            self._blocked_since.append(started)
+            event.callbacks.append(self._charge_cb)
         else:
             self.occupancy.update(len(self._store.items), self.env.now)
         return event
 
-    def _charge_block(self, started: float) -> None:
-        self.blocked_time += self.env.now - started
+    def _charge_block(self, _event: Event) -> None:
+        self.blocked_time += self.env.now - self._blocked_since.popleft()
+        self.occupancy.update(len(self._store.items), self.env.now)
+
+    def _update_occupancy(self, _event: Event) -> None:
         self.occupancy.update(len(self._store.items), self.env.now)
 
     def get(self) -> "StoreGet | _GatedGet":
@@ -170,9 +180,5 @@ class SamplePipe:
         if event.triggered:
             self.occupancy.update(len(self._store.items), self.env.now)
         else:
-            event.callbacks.append(
-                lambda _ev: self.occupancy.update(
-                    len(self._store.items), self.env.now
-                )
-            )
+            event.callbacks.append(self._occupancy_cb)
         return event

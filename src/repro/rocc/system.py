@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..des.core import Environment
+from ..des.events import URGENT, Event
 from ..des.profiling import KernelProfiler, profile_enabled, set_last_profile
 from ..faults.injector import FaultInjector
 from ..obs.metrics import registry as obs_registry
@@ -314,7 +315,17 @@ class ParadynISSystem:
     # Warmup
     # ------------------------------------------------------------------
     def _warmup_reset(self):
-        yield self.env.timeout(self.config.warmup)
+        # URGENT, so the reset precedes every NORMAL event sharing the
+        # warmup instant: "created at the epoch" then deterministically
+        # means created *after* the reset, which is what note_receipt's
+        # ``created_at >= epoch`` filter assumes.  Left to sequence-id
+        # tie-breaking, a sample generated exactly at t == warmup could
+        # be counted, erased by the reset, and still pass the receipt
+        # filter — breaking sample conservation by one.
+        gate = Event(self.env)
+        gate._value = None
+        self.env.schedule(gate, URGENT, self.config.warmup)
+        yield gate
         snap = self._snapshot
         now = self.env.now
         snap.cpu_busy = [dict(c.busy_by_owner) for c in self.worker_cpus]

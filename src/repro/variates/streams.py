@@ -102,7 +102,21 @@ class VariateStream:
     simulator's hottest path.
     """
 
-    __slots__ = ("distribution", "rng", "block", "_buf", "_idx")
+    __slots__ = ("distribution", "rng", "block", "_buf", "_idx", "_next")
+
+    #: First refill size; doubles per refill up to ``block``.  A large
+    #: cell creates thousands of streams that each serve only a handful
+    #: of draws, so eager full-block prefills would dominate both wall
+    #: time and peak RSS — growth keeps prefill work and buffer memory
+    #: proportional to what each stream actually consumes (at most 2x),
+    #: while hot streams still amortize to full blocks.  NumPy
+    #: generators draw values sequentially from the bit stream, so for
+    #: every Table-2 workload family the served variate sequence is
+    #: independent of the chunking.  (Hyperexponential is the one
+    #: exported family whose block draw is two-pass and therefore
+    #: chunk-*dependent* — its sequence has always varied with the
+    #: ``block`` knob.)
+    INITIAL_BLOCK = 16
 
     def __init__(
         self,
@@ -115,19 +129,57 @@ class VariateStream:
         self.distribution = distribution
         self.rng = rng
         self.block = int(block)
-        self._buf: Optional[np.ndarray] = None
+        # The block is converted to a plain list once per refill:
+        # serving native floats skips a NumPy-scalar box + float() call
+        # per variate, and the conversion cost is amortized over the
+        # whole block.
+        self._buf: Optional[list] = None
         self._idx = 0
+        self._next = min(self.INITIAL_BLOCK, self.block)
+
+    def _refill(self) -> list:
+        n = self._next
+        buf = self.distribution.sample_block(self.rng, n).tolist()
+        self._buf = buf
+        if n < self.block:
+            self._next = min(n * 2, self.block)
+        return buf
 
     def __call__(self) -> float:
         """Next variate."""
+        idx = self._idx
         buf = self._buf
-        if buf is None or self._idx >= buf.shape[0]:
-            buf = self.distribution.sample_block(self.rng, self.block)
-            self._buf = buf
-            self._idx = 0
-        value = buf[self._idx]
-        self._idx += 1
-        return float(value)
+        if buf is None or idx >= len(buf):
+            buf = self._refill()
+            idx = 0
+        self._idx = idx + 1
+        return buf[idx]
+
+    def take_sum(self, n: int) -> float:
+        """Sum of the next *n* variates.
+
+        Consumes exactly the same draws as *n* scalar calls — block
+        boundaries are preserved, so the variate sequence (and every
+        simulation result derived from it) is bit-identical either way.
+        The per-draw Python loop is replaced by slice sums, which is
+        what makes burst consumers (daemon collect loops) cheap.
+        """
+        total = 0.0
+        idx = self._idx
+        buf = self._buf
+        remaining = n
+        while remaining > 0:
+            if buf is None or idx >= len(buf):
+                buf = self._refill()
+                idx = 0
+            take = len(buf) - idx
+            if take > remaining:
+                take = remaining
+            total += sum(buf[idx:idx + take])
+            idx += take
+            remaining -= take
+        self._idx = idx
+        return total
 
     def draw(self, n: int) -> np.ndarray:
         """Draw *n* variates as an array (bypasses the scalar buffer)."""

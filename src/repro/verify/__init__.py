@@ -24,6 +24,7 @@ configurations over all of the above.
 from .differential import (
     check_bf_flush_noop,
     check_cache,
+    check_event_queue,
     check_fastpath,
     check_resilient_engine,
     check_watchdog,
@@ -58,4 +59,5 @@ __all__ = [
     "check_cache",
     "check_bf_flush_noop",
     "check_resilient_engine",
+    "check_event_queue",
 ]

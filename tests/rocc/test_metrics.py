@@ -159,3 +159,66 @@ class TestSimulationResults:
     def test_delivery_ratio_nan_without_samples(self):
         r = make_results()
         assert math.isnan(r.delivery_ratio)
+
+
+class TestStreamingLatency:
+    """Past ``raw_cap`` the recorder switches to O(1)-memory estimators."""
+
+    def _fill(self, m, values):
+        for i, v in enumerate(values):
+            now = 1000.0 + i
+            m.note_receipt(now, now - 2 * v, now - v)
+
+    def test_raw_series_stays_capped(self):
+        m = Metrics()
+        m.raw_cap = 64
+        self._fill(m, [float(i % 37 + 1) for i in range(500)])
+        assert len(m._lat_fwd_raw) == 64
+        assert len(m._lat_total_raw) == 64
+        assert m.latency_forwarding.count == 500
+        assert m.latency_total.count == 500
+
+    def test_streaming_percentiles_close_to_exact(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        data = list(rng.lognormal(mean=2.0, sigma=0.8, size=20_000))
+        exact = Metrics()
+        self._fill(exact, data)
+        streaming = Metrics()
+        streaming.raw_cap = 256
+        self._fill(streaming, data)
+        pe = exact.latency_percentiles()
+        ps = streaming.latency_percentiles()
+        for q in (50.0, 90.0):
+            assert ps[q] == pytest.approx(pe[q], rel=0.05)
+        assert ps[99.0] == pytest.approx(pe[99.0], rel=0.15)
+
+    def test_streaming_mean_is_exact(self):
+        data = [float(i % 91 + 1) for i in range(3000)]
+        exact = Metrics()
+        self._fill(exact, data)
+        streaming = Metrics()
+        streaming.raw_cap = 128
+        self._fill(streaming, data)
+        assert streaming.latency_forwarding.mean == pytest.approx(
+            exact.latency_forwarding.mean
+        )
+        assert streaming.latency_total.mean == pytest.approx(
+            exact.latency_total.mean
+        )
+
+    def test_noncanonical_percentile_uses_reservoir(self):
+        m = Metrics()
+        m.raw_cap = 64
+        self._fill(m, [float(i % 101 + 1) for i in range(2000)])
+        p = m.latency_percentiles(qs=(75.0,))
+        assert 1.0 <= p[75.0] <= 101.0
+
+    def test_desync_still_detected_in_streaming_mode(self):
+        m = Metrics()
+        m.raw_cap = 32
+        self._fill(m, [float(i + 1) for i in range(100)])
+        m.latency_forwarding.observe(5.0)  # bypasses note_receipt
+        with pytest.raises(ValueError):
+            m.latency_percentiles()
