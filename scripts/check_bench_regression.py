@@ -216,7 +216,10 @@ def main(argv=None) -> int:
         )
         return 2
     if regressions:
-        print(f"{len(regressions)} benchmark(s) regressed beyond {tolerance:.0%}")
+        print(f"{len(regressions)} benchmark(s) regressed beyond {tolerance:.0%}:")
+        for name, value, allowed, detail in regressions:
+            over = (value / allowed - 1.0) * 100.0 if allowed else float("inf")
+            print(f"  {name}: {over:+.1f}% over the allowed bound ({detail})")
         return 1
     print("all benchmarks within tolerance")
     return 0

@@ -79,6 +79,11 @@ class Environment:
         #: the factory hot paths pay one attribute load, not two.
         self._scheduler = make_scheduler()
         self._push = self._scheduler.push
+        # The auto scheduler re-points the cached ``_push`` at its
+        # promoted implementation; give it the back-reference it needs.
+        bind = getattr(self._scheduler, "bind", None)
+        if bind is not None:
+            bind(self)
         self._eid = count()
         self._active_proc: Optional[Process] = None
         #: Optional observers invoked as ``tracer(event, now)`` for every

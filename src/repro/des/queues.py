@@ -21,6 +21,11 @@ Three implementations:
 * :class:`LadderQueue` — a ladder-queue-style two-level lazy structure
   for skewed schedules: an unsorted *top* collects far-future events and
   is sorted in bounded rungs only when the sorted *bottom* run drains.
+* :class:`AutoScheduler` — the default: starts on the heap (fastest on
+  near-empty schedules) and promotes, once, to a calendar queue when the
+  schedule depth crosses a threshold.  The promotion is a one-way latch,
+  so oscillating occupancy cannot thrash, and it provably preserves the
+  pop order.
 
 All per-operation bookkeeping is kept off the hot path: only a single
 counter increments on push, dequeues are derived (``enqueues − len``),
@@ -44,6 +49,7 @@ __all__ = [
     "HeapScheduler",
     "CalendarQueue",
     "LadderQueue",
+    "AutoScheduler",
     "TieBreakingHeap",
     "SCHEDULERS",
     "DEFAULT_QUEUE",
@@ -69,6 +75,11 @@ _SPREAD = 32.0
 _MAX_RUN = 1024
 #: Largest sorted run the ladder queue serves at once (one "rung").
 _LADDER_RUNG = 4096
+#: Schedule depth at which :class:`AutoScheduler` promotes its heap to a
+#: calendar queue.  Below this, C-implemented ``heapq`` beats Python
+#: bucket math (the near-empty regression BENCH_DES.json documents);
+#: above it the calendar's amortized O(1) wins.
+_PROMOTE_AT = 512
 
 
 class HeapScheduler:
@@ -512,6 +523,100 @@ class LadderQueue:
             self.max_bucket = len(self._bottom)
 
 
+class AutoScheduler:
+    """Occupancy-adaptive scheduler: heap first, calendar once deep.
+
+    Near-empty schedules (a timeout chain, a handful of processes) are
+    fastest on the C-implemented heap; deep schedules (large cells) are
+    fastest on the calendar queue.  This facade starts on a
+    :class:`HeapScheduler` and *promotes* to a :class:`CalendarQueue`
+    the first time the schedule reaches ``promote_at`` pending entries.
+
+    Promotion is a one-way latch — the queue never demotes back to the
+    heap when the schedule drains.  That hysteresis means a workload
+    oscillating around the threshold re-buckets at most once, and it
+    cannot change pop order: both implementations honour the total
+    ``(time, priority, sequence)`` order, so rebuilding the pending set
+    in either structure yields the identical pop sequence.
+
+    An :class:`~repro.des.core.Environment` caches ``scheduler.push``
+    once; :meth:`bind` lets the promotion re-point that cache at the
+    calendar's own ``push`` so the post-promotion fast path pays no
+    delegation.  ``pop`` stays a one-hop delegate (stable bound method,
+    required by the cached dispatch loop).
+    """
+
+    name = "auto"
+
+    __slots__ = ("_impl", "_env", "promote_at", "promotions",
+                 "_enq_offset", "_deq_offset")
+
+    def __init__(self, promote_at: int = _PROMOTE_AT) -> None:
+        self._impl = HeapScheduler()
+        self._env = None
+        self.promote_at = promote_at
+        self.promotions = 0
+        self._enq_offset = 0
+        self._deq_offset = 0
+
+    def bind(self, env) -> None:
+        """Let the owning environment's cached ``push`` be re-pointed
+        at promotion time (see :class:`~repro.des.core.Environment`)."""
+        self._env = env
+
+    def push(self, entry: Entry) -> None:
+        impl = self._impl
+        impl.push(entry)
+        if self.promotions == 0 and len(impl._entries) >= self.promote_at:
+            self._promote()
+
+    def pop(self) -> Entry:
+        return self._impl.pop()
+
+    def peek_time(self) -> float:
+        return self._impl.peek_time()
+
+    def __len__(self) -> int:
+        return len(self._impl)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self._impl)
+
+    def smallest(self, k: int) -> List[Entry]:
+        """The *k* earliest entries, in order (diagnostics only)."""
+        return self._impl.smallest(k)
+
+    def stats(self) -> dict:
+        s = self._impl.stats()
+        s["impl"] = f"auto({s['impl']})"
+        s["enqueues"] += self._enq_offset
+        s["dequeues"] += self._deq_offset
+        return s
+
+    # -- internals ------------------------------------------------------
+    def _promote(self) -> None:
+        heap = self._impl
+        pending = heap._entries
+        # Entry order into the calendar is irrelevant: the total order
+        # restores the exact heap pop sequence.
+        calendar = CalendarQueue()
+        push = calendar.push
+        for entry in pending:
+            push(entry)
+        # Continuity of the counters: the calendar starts having seen
+        # only the pending set, so offset its numbers by what the heap
+        # already enqueued/served.
+        self._enq_offset = heap.enqueues - len(pending)
+        self._deq_offset = heap.enqueues - len(pending)
+        self._impl = calendar
+        self.promotions += 1
+        env = self._env
+        if env is not None and getattr(env._push, "__self__", None) is self:
+            # Re-point the environment's cached enqueue at the calendar
+            # directly: post-promotion pushes pay zero delegation.
+            env._push = calendar.push
+
+
 class TieBreakingHeap:
     """Heap of ``(key, seq, item)``: FIFO among equal keys, items never
     compared.  The same tie-breaking discipline the kernel schedulers
@@ -542,10 +647,12 @@ SCHEDULERS = {
     "heap": HeapScheduler,
     "calendar": CalendarQueue,
     "ladder": LadderQueue,
+    "auto": AutoScheduler,
 }
 
-#: The kernel's default event queue.
-DEFAULT_QUEUE = "calendar"
+#: The kernel's default event queue: heap while shallow, calendar once
+#: deep (see :class:`AutoScheduler`).
+DEFAULT_QUEUE = "auto"
 
 
 def scheduler_name_from_env() -> str:

@@ -49,6 +49,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: $REPRO_WORKERS or 1)",
     )
     parser.add_argument(
+        "--lp-workers",
+        default=None,
+        metavar="K",
+        help="partition each eligible simulation cell across K parallel "
+        "LP worker processes, or 'auto' to partition only big cells on "
+        "multi-core machines; multiplies with --workers "
+        "(default: $REPRO_DES_PARALLEL, else sequential)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the content-addressed cell cache",
@@ -133,8 +142,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
+    lp_workers = args.lp_workers
+    if lp_workers is not None and lp_workers != "auto":
+        try:
+            lp_workers = int(lp_workers)
+        except ValueError:
+            parser.error("--lp-workers must be an integer or 'auto'")
     engine = ResilientEngine(
         workers=args.workers,
+        lp_workers=lp_workers,
         cache=(
             CellCache(enabled=False)
             if (args.no_cache or args.profile or trace_out)

@@ -113,7 +113,7 @@ class ChaosPlan:
 
 def _chaos_run_cell(plan: ChaosPlan, payload) -> _CellOutcome:
     """Drop-in for ``_run_cell`` that injects the planned faults."""
-    config, aggregated, _traced = payload
+    config, aggregated, *_rest = payload
     key = chaos_key(config, aggregated)
     if key in plan.kill_once and plan.claim("kill", key):
         if not plan.parent_pid or os.getpid() != plan.parent_pid:

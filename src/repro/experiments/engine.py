@@ -480,12 +480,16 @@ class _CellOutcome:
     pid: int = 0
 
 
-def _run_cell(payload: Tuple[SimulationConfig, bool, bool]) -> _CellOutcome:
+def _run_cell(payload: Tuple[SimulationConfig, bool, bool, Optional[int]]) -> _CellOutcome:
     """Execute one cell; never raises (failures become artifacts)."""
-    config, aggregated, traced = payload
-    runner: Callable[[SimulationConfig], SimulationResults] = (
-        simulate_aggregated if aggregated else simulate
-    )
+    config, aggregated, traced, lp_workers = payload
+    if aggregated:
+        runner: Callable[[SimulationConfig], SimulationResults] = simulate_aggregated
+    elif lp_workers is not None and lp_workers >= 2:
+        def runner(cfg, _k=lp_workers):
+            return simulate(cfg, lp_workers=_k)
+    else:
+        runner = simulate
     # A traced cell records into its own fresh tracer (explicitly
     # installed — forked workers inherit the parent's tracer object, and
     # inline cells must not write parent spans twice) and ships the
@@ -549,12 +553,23 @@ class ExperimentEngine:
 
     def __init__(self, workers: Optional[int] = None,
                  cache: Optional[CellCache] = None,
-                 stats: Optional[EngineStats] = None):
+                 stats: Optional[EngineStats] = None,
+                 lp_workers: Union[int, str, None] = None):
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS", "1") or 1)
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if isinstance(lp_workers, str) and lp_workers != "auto":
+            raise ValueError("lp_workers must be an int, 'auto', or None")
+        if isinstance(lp_workers, int) and lp_workers < 1:
+            raise ValueError("lp_workers must be >= 1")
         self.workers = workers
+        #: In-cell LP parallelism: an LP count applied to every eligible
+        #: cell, ``"auto"`` to partition big cells when cores allow, or
+        #: ``None`` to leave the choice to ``REPRO_DES_PARALLEL``.
+        #: Cell workers and in-cell LP workers multiply — size the
+        #: product to the machine.
+        self.lp_workers = lp_workers
         self.cache = cache if cache is not None else CellCache()
         self.stats = stats if stats is not None else EngineStats(workers=workers)
         self.stats.workers = workers
@@ -657,12 +672,48 @@ class ExperimentEngine:
         return outcomes
 
     # -- seams (overridden by the resilience layer) --------------------
+    def _lp_workers_for(self, config: SimulationConfig,
+                        aggregated: bool) -> Optional[int]:
+        """Resolve the in-cell LP count for one cell, or ``None``.
+
+        ``"auto"`` partitions only cells big enough to amortize the
+        worker processes (>= 256 nodes), only on machines with cores to
+        spare, and only when the configuration is protocol-eligible;
+        everything else stays sequential.
+        """
+        if aggregated or self.lp_workers is None:
+            return None
+        if self.lp_workers == "auto":
+            from ..rocc.partition import parallel_ineligibility
+
+            cpus = os.cpu_count() or 1
+            if (
+                cpus < 4
+                or config.nodes < 256
+                or parallel_ineligibility(config) is not None
+            ):
+                return None
+            return min(4, cpus)
+        return self.lp_workers if self.lp_workers >= 2 else None
+
+    def _payload(self, config: SimulationConfig, aggregated: bool,
+                 traced: bool) -> Tuple:
+        return (config, aggregated, traced,
+                self._lp_workers_for(config, aggregated))
+
     def _fingerprint(self, config: SimulationConfig,
                      aggregated: bool) -> Optional[str]:
         """Content key of one cell, or None when nothing will use it."""
         if not self.cache.enabled:
             return None
-        return config_fingerprint(config, aggregated)
+        key = config_fingerprint(config, aggregated)
+        lp = self._lp_workers_for(config, aggregated)
+        if lp is not None and lp >= 2:
+            # A partitioned run may differ from the sequential one in
+            # the last ulp of a few re-associated float sums; keep the
+            # two result streams cache-separate.
+            key = hashlib.sha256(f"{key}|lp{lp}".encode()).hexdigest()
+        return key
 
     def _lookup(self, config: SimulationConfig,
                 key: Optional[str]) -> Optional[SimulationResults]:
@@ -692,7 +743,8 @@ class ExperimentEngine:
         pool = self._ensure_pool()
         futures = [
             (i, config, key,
-             pool.submit(self.cell_runner, (config, aggregated, traced)))
+             pool.submit(self.cell_runner,
+                         self._payload(config, aggregated, traced)))
             for i, config, key in misses
         ]
         for i, config, key, future in futures:
@@ -715,7 +767,7 @@ class ExperimentEngine:
         """One inline cell; exceptions from a swapped-in ``cell_runner``
         (chaos wrappers raise by design) become failure artifacts."""
         try:
-            return self.cell_runner((config, aggregated, traced))
+            return self.cell_runner(self._payload(config, aggregated, traced))
         except Exception as exc:
             return _CellOutcome(
                 ok=False, error=CellError.from_exception(config, exc), exc=exc

@@ -89,6 +89,7 @@ DEFAULT_TRANSIENT: Tuple[str, ...] = (
     "EOFError",
     "BrokenPipeError",
     "ConnectionResetError",
+    "LPWorkerLost",
 )
 
 # Module-cached instruments (registry().reset() zeroes them in place,
@@ -445,8 +446,10 @@ class ResilientEngine(ExperimentEngine):
                  journal: Union[RunJournal, str, Path, None] = None,
                  strict: bool = True,
                  degrade_after: int = 3,
-                 deadline_grace: float = 3.0):
-        super().__init__(workers=workers, cache=cache, stats=stats)
+                 deadline_grace: float = 3.0,
+                 lp_workers=None):
+        super().__init__(workers=workers, cache=cache, stats=stats,
+                         lp_workers=lp_workers)
         if cell_timeout is not None and cell_timeout <= 0:
             raise ValueError("cell_timeout must be positive (or None)")
         if degrade_after < 1:
@@ -555,7 +558,7 @@ class ResilientEngine(ExperimentEngine):
             self._journal_attempt(key, attempt)
             futures.append((item, pool.submit(
                 self.cell_runner,
-                (self._with_deadline(config), aggregated, traced),
+                self._payload(self._with_deadline(config), aggregated, traced),
             )))
         next_pending: List[Tuple] = []
         delay = 0.0

@@ -51,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline run without the IS")
     parser.add_argument("--adaptive-budget", type=float, default=None,
                         help="enable overhead regulation at this CPU fraction")
+    parser.add_argument("--lp-workers", type=int, default=None, metavar="K",
+                        help="partition the run across K parallel LP worker "
+                        "processes (conservative sync; default: "
+                        "REPRO_DES_PARALLEL, else sequential); ineligible "
+                        "configurations fall back to the sequential kernel")
     parser.add_argument("--profile", action="store_true",
                         help="print a kernel profile of the run "
                         "(where the simulator's wall time went)")
@@ -144,6 +149,7 @@ def _resilient_run(args, config):
 
     with ResilientEngine(
         workers=1,
+        lp_workers=args.lp_workers,
         # No memoization surprises for a CLI one-off: completed runs are
         # only reused when the user opts into a --resume journal.
         cache=CellCache(enabled=False),
@@ -169,7 +175,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_retries < 0:
         build_parser().error("--max-retries must be >= 0")
     config = config_from_args(args)
-    runner = simulate_aggregated if args.aggregated else simulate
+    if args.aggregated:
+        runner = simulate_aggregated
+    else:
+        def runner(cfg):
+            return simulate(cfg, lp_workers=args.lp_workers)
     if args.profile:
         os.environ["REPRO_PROFILE"] = "1"
     from ..obs import (

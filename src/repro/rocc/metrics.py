@@ -346,6 +346,81 @@ class Metrics:
             self._stream_fwd(now - ready_at)
         return True
 
+    def _has_receipts(self) -> bool:
+        return bool(
+            self.samples_received
+            or self._lat_fwd_raw
+            or self._lat_fwd.count
+            or self._lat_total_raw
+            or self._lat_total.count
+        )
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another kernel fragment's accumulators into this one.
+
+        Used by the parallel in-cell kernel (:mod:`repro.des.parallel`)
+        to combine per-LP metrics into one run total.  Counters sum;
+        per-node counters add node-wise (node ids are global across
+        LPs, so the key spaces are disjoint in practice).
+
+        The latency recorders (raw series, tallies, streaming
+        estimators) are *adopted*, not merged: receipt order determines
+        their bit-exact state, and only the LP hosting the main Paradyn
+        process ever observes receipts.  Merging two fragments that
+        both saw receipts would silently discard ordering information,
+        so that case raises :class:`ValueError`.
+        """
+        if other.epoch != self.epoch:
+            raise ValueError(
+                f"cannot merge metrics with different epochs "
+                f"({self.epoch} vs {other.epoch}); run warmup in every LP"
+            )
+        if other._has_receipts():
+            if self._has_receipts():
+                raise ValueError(
+                    "both metric fragments hold receipt/latency series; "
+                    "only the main-process LP may observe receipts"
+                )
+            self.samples_received = other.samples_received
+            self.batches_received = other.batches_received
+            self._lat_fwd = other._lat_fwd
+            self._lat_total = other._lat_total
+            self._lat_fwd_raw = other._lat_fwd_raw
+            self._lat_total_raw = other._lat_total_raw
+            self._lat_fwd_flushed = other._lat_fwd_flushed
+            self._lat_total_flushed = other._lat_total_flushed
+            self._lat_fwd_p2 = other._lat_fwd_p2
+            self._lat_fwd_res = other._lat_fwd_res
+            self._lat_fwd_streamed = other._lat_fwd_streamed
+            self._lat_total_streamed = other._lat_total_streamed
+        self.samples_generated += other.samples_generated
+        for node, n in other.forwarded_by_node.items():
+            if n:
+                self.forwarded_by_node.add(node, n)
+        for node, n in other.forward_calls_by_node.items():
+            if n:
+                self.forward_calls_by_node.add(node, n)
+        for node, n in other.merges_by_node.items():
+            if n:
+                self.merges_by_node.add(node, n)
+        self.pipe_blocked_time += other.pipe_blocked_time
+        self.pipe_blocked_puts += other.pipe_blocked_puts
+        self.app_cycles += other.app_cycles
+        self.barrier_wait_time += other.barrier_wait_time
+        self.barrier_rounds += other.barrier_rounds
+        self.samples_dropped += other.samples_dropped
+        for reason, n in other.drops_by_reason.items():
+            self.drops_by_reason[reason] = (
+                self.drops_by_reason.get(reason, 0) + n
+            )
+        self.retransmissions += other.retransmissions
+        self.messages_lost += other.messages_lost
+        self.messages_corrupted += other.messages_corrupted
+        self.forward_timeouts += other.forward_timeouts
+        self.daemon_crashes += other.daemon_crashes
+        self.daemon_downtime += other.daemon_downtime
+        self.recovery_latency.merge(other.recovery_latency)
+
     def note_drop(self, node: int, n_samples: int, reason: str) -> None:
         """Account *n_samples* dropped at *node* for *reason*."""
         self.samples_dropped += n_samples

@@ -44,10 +44,22 @@ from .main_process import MainParadynProcess
 from .metrics import Metrics, SimulationResults
 from .network import BaseNetwork, ContentionFreeNetwork, FIFONetwork
 from .node import CyclicBarrier, NodeContext
+from .partition import (
+    LPBoundaryNetwork,
+    LPRole,
+    RemoteSink,
+    lp_workers_from_env,
+    parallel_ineligibility,
+)
 from .other import OtherProcesses, PVMDaemon
 from .pipes import SamplePipe
 
-__all__ = ["ParadynISSystem", "simulate"]
+__all__ = [
+    "ParadynISSystem",
+    "RawAggregates",
+    "assemble_results",
+    "simulate",
+]
 
 _WORKER_OWNERS = (
     ProcessType.APPLICATION,
@@ -124,15 +136,183 @@ class _Snapshot:
     pipe_blocked_puts: int = 0
 
 
-class ParadynISSystem:
-    """A fully wired ROCC model instance, ready to run."""
+@dataclass
+class RawAggregates:
+    """Post-warmup accumulator deltas of one kernel instance.
 
-    def __init__(self, config: SimulationConfig):
+    :meth:`ParadynISSystem._raw_aggregates` extracts these from a
+    finished run; :func:`assemble_results` turns them (plus the
+    :class:`Metrics`) into a :class:`SimulationResults`.  Splitting the
+    two steps lets the parallel kernel :meth:`merge` the aggregates of
+    every logical process and assemble one result through the exact
+    same code path as a sequential run.  Everything here is picklable.
+    """
+
+    #: ``(global node id, owner) -> busy µs`` (strictly positive only).
+    cpu_busy: Dict[tuple, float] = field(default_factory=dict)
+    #: Main-process busy µs on its host CPU (non-SMP; 0.0 otherwise).
+    main_busy: float = 0.0
+    #: Network busy µs by owning process type.
+    net_busy: Dict[ProcessType, float] = field(default_factory=dict)
+    pipe_blocked_time: float = 0.0
+    pipe_blocked_puts: int = 0
+    n_daemons: int = 0
+    #: Downtime of daemons still down at end of run (not yet in metrics).
+    daemon_downtime_extra: float = 0.0
+    #: Observability summary of this run (trace bookkeeping).
+    obs_info: Dict[str, object] = field(default_factory=dict)
+
+    def merge(self, other: "RawAggregates") -> None:
+        """Fold another LP's aggregates into this one (in place).
+
+        CPU busy keys are disjoint across LPs (each global node lives
+        in exactly one), so the union is a plain update; per-owner
+        network busy sums across LPs.
+        """
+        overlap = self.cpu_busy.keys() & other.cpu_busy.keys()
+        if overlap:
+            raise ValueError(f"LPs share cpu_busy keys: {sorted(overlap)[:4]}")
+        self.cpu_busy.update(other.cpu_busy)
+        self.main_busy += other.main_busy
+        for owner, v in other.net_busy.items():
+            self.net_busy[owner] = self.net_busy.get(owner, 0.0) + v
+        self.pipe_blocked_time += other.pipe_blocked_time
+        self.pipe_blocked_puts += other.pipe_blocked_puts
+        self.n_daemons += other.n_daemons
+        self.daemon_downtime_extra += other.daemon_downtime_extra
+
+
+def assemble_results(
+    config: SimulationConfig, m: Metrics, agg: RawAggregates
+) -> SimulationResults:
+    """Turn metrics plus raw aggregates into a :class:`SimulationResults`.
+
+    Shared by the sequential kernel and the parallel coordinator.  All
+    per-owner CPU totals are summed over *ascending* global node ids so
+    that a merged parallel run adds the identical floats in the
+    identical order as a sequential run (float addition does not
+    commute at the last ulp).
+    """
+    cfg = config
+    duration = cfg.measured_duration
+    seconds = duration / 1e6
+    n = cfg.nodes
+    smp = cfg.architecture is Architecture.SMP
+
+    cpu_busy = agg.cpu_busy
+    node_order = sorted({node for node, _ in cpu_busy})
+
+    def total(owner: ProcessType) -> float:
+        return sum(cpu_busy.get((node, owner), 0.0) for node in node_order)
+
+    pd_total = total(ProcessType.PARADYN_DAEMON)
+    app_total = total(ProcessType.APPLICATION)
+    pvmd_total = total(ProcessType.PVM_DAEMON)
+    other_total = total(ProcessType.OTHER)
+
+    if smp:
+        main_busy = total(ProcessType.PARADYN_MAIN)
+        worker_cpu_capacity = n  # pooled CPUs
+        main_capacity = n
+    else:
+        main_busy = agg.main_busy
+        worker_cpu_capacity = n * cfg.cpus_per_node
+        main_capacity = 1
+
+    pd_net_busy = agg.net_busy.get(ProcessType.PARADYN_DAEMON, 0.0)
+    total_net_busy = sum(agg.net_busy.values())
+
+    n_daemons = agg.n_daemons
+    forwarded = sum(m.forwarded_by_node.values())
+    forward_calls = sum(m.forward_calls_by_node.values())
+
+    daemon_downtime = m.daemon_downtime + agg.daemon_downtime_extra
+
+    percentiles = m.latency_percentiles()
+
+    def node0(owner: ProcessType) -> float:
+        return cpu_busy.get((0, owner), 0.0)
+
+    return SimulationResults(
+        config_summary=(
+            f"{cfg.architecture.value} n={n} T={cfg.sampling_period / 1e3:g}ms "
+            f"b={cfg.batch_size} {cfg.forwarding.value} "
+            f"apps={cfg.app_processes_per_node} dur={seconds:g}s"
+        ),
+        duration=duration,
+        nodes=n,
+        pd_cpu_time_per_node=pd_total / n,
+        main_cpu_time=main_busy,
+        pvmd_cpu_time_per_node=pvmd_total / n,
+        other_cpu_time_per_node=other_total / n,
+        app_cpu_time_per_node=app_total / n,
+        node0_pd_cpu_time=node0(ProcessType.PARADYN_DAEMON),
+        node0_app_cpu_time=node0(ProcessType.APPLICATION),
+        pd_cpu_utilization_per_node=pd_total / (duration * worker_cpu_capacity),
+        app_cpu_utilization_per_node=app_total / (duration * worker_cpu_capacity),
+        main_cpu_utilization=main_busy / (duration * main_capacity),
+        is_cpu_utilization_per_node=(
+            (pd_total + main_busy) / (duration * worker_cpu_capacity)
+            if smp
+            else pd_total / (duration * worker_cpu_capacity)
+        ),
+        network_utilization=total_net_busy / duration,
+        pd_network_utilization=pd_net_busy / duration,
+        monitoring_latency_forwarding=m.latency_forwarding.mean,
+        monitoring_latency_total=m.latency_total.mean,
+        monitoring_latency_p50=percentiles[50.0],
+        monitoring_latency_p90=percentiles[90.0],
+        monitoring_latency_p99=percentiles[99.0],
+        throughput_per_daemon=(
+            forwarded / n_daemons / seconds if n_daemons else 0.0
+        ),
+        received_throughput=m.samples_received / seconds,
+        samples_generated=m.samples_generated,
+        samples_received=m.samples_received,
+        batches_received=m.batches_received,
+        forward_calls_per_node=forward_calls / n,
+        merges_total=sum(m.merges_by_node.values()),
+        pipe_blocked_time=agg.pipe_blocked_time,
+        pipe_blocked_puts=agg.pipe_blocked_puts,
+        barrier_wait_time=m.barrier_wait_time,
+        barrier_rounds=m.barrier_rounds,
+        app_cycles=m.app_cycles,
+        samples_dropped=m.samples_dropped,
+        drops_by_reason=dict(m.drops_by_reason),
+        retransmissions=m.retransmissions,
+        messages_lost=m.messages_lost,
+        messages_corrupted=m.messages_corrupted,
+        forward_timeouts=m.forward_timeouts,
+        daemon_crashes=m.daemon_crashes,
+        daemon_downtime=daemon_downtime,
+        recovery_latency=m.recovery_latency.mean,
+        cpu_busy=dict(cpu_busy),
+        observability=dict(agg.obs_info),
+    )
+
+
+class ParadynISSystem:
+    """A fully wired ROCC model instance, ready to run.
+
+    With an :class:`~repro.rocc.partition.LPRole` the instance builds
+    only that logical process's *subset* of the topology — the role's
+    node range and, for the main LP, the host workstation — wiring cut
+    edges to :class:`~repro.rocc.partition.RemoteSink` targets that the
+    boundary network exports at send time.  Node ids, stream names, and
+    metric indices stay global, so each node's variate draws are
+    bit-identical to its draws in a sequential run.
+    """
+
+    def __init__(self, config: SimulationConfig,
+                 lp_role: Optional[LPRole] = None):
         self.config = config
+        self.lp_role = lp_role
         self.env = Environment()
         self.metrics = Metrics()
         self.streams = StreamFactory(seed=config.seed, replication=config.replication)
         self.worker_cpus: List[RoundRobinCPU] = []
+        #: Global node id of each entry in :attr:`worker_cpus`.
+        self._node_ids: List[int] = []
         self.host_cpu: Optional[RoundRobinCPU] = None
         self.network: BaseNetwork = self._build_network()
         self.pipes: List[SamplePipe] = []
@@ -169,6 +349,12 @@ class ParadynISSystem:
     # ------------------------------------------------------------------
     def _build_network(self) -> BaseNetwork:
         mode = self.config.effective_network_mode
+        if self.lp_role is not None:
+            if mode is not NetworkMode.CONTENTION_FREE:
+                raise ValueError(
+                    "partitioned kernel requires a contention-free network"
+                )
+            return LPBoundaryNetwork(self.env, self.lp_role.outbox)
         if mode is NetworkMode.SHARED:
             return FIFONetwork(self.env, name="shared-net")
         return ContentionFreeNetwork(self.env, name="cf-net")
@@ -186,22 +372,36 @@ class ParadynISSystem:
 
     def _build_now_or_mpp(self) -> None:
         cfg = self.config
+        role = self.lp_role
         quantum = cfg.workload.cpu_quantum
 
         # Host workstation for the main Paradyn process (Figure 1).
-        self.host_cpu = RoundRobinCPU(self.env, 1, quantum, name="host.cpu")
-        main_ctx = self._make_ctx(-1, self.host_cpu)
-        self.main = MainParadynProcess(main_ctx)
+        # In a partitioned run only the main LP hosts it; node LPs send
+        # their daemon uplinks to a RemoteSink instead.
+        if role is None or role.include_main:
+            self.host_cpu = RoundRobinCPU(self.env, 1, quantum, name="host.cpu")
+            main_ctx = self._make_ctx(-1, self.host_cpu)
+            self.main = MainParadynProcess(main_ctx)
 
         if cfg.barrier_period is not None:
+            if role is not None:
+                raise ValueError(
+                    "barrier couples all nodes; ineligible for partitioning"
+                )
             self.barrier = CyclicBarrier(
                 self.env, cfg.nodes * cfg.app_processes_per_node, self.metrics
             )
 
         tree = cfg.forwarding is ForwardingTopology.TREE
-        for i in range(cfg.nodes):
+        if tree and role is not None:
+            raise ValueError(
+                "tree forwarding is not yet run on the partitioned kernel"
+            )
+        node_ids = range(cfg.nodes) if role is None else role.node_ids
+        for i in node_ids:
             cpu = RoundRobinCPU(self.env, cfg.cpus_per_node, quantum, name=f"node{i}.cpu")
             self.worker_cpus.append(cpu)
+            self._node_ids.append(i)
             ctx = self._make_ctx(i, cpu)
             pipe = SamplePipe(
                 self.env,
@@ -220,8 +420,10 @@ class ParadynISSystem:
                     deliver = self._tree_deliver(i)
                 else:
                     deliver = parent.deliver
-            else:
+            elif self.main is not None:
                 deliver = self.main.deliver
+            else:
+                deliver = RemoteSink(role.plan.main_lp)
             daemon = ParadynDaemon(ctx, pipe, deliver)
             self.daemons.append(daemon)
             sampler_state = self._attach_regulator(ctx, daemon)
@@ -242,6 +444,7 @@ class ParadynISSystem:
         n_cpus = cfg.nodes
         cpu = RoundRobinCPU(self.env, n_cpus, quantum, name="smp.cpu")
         self.worker_cpus.append(cpu)
+        self._node_ids.append(0)
         ctx = self._make_ctx(0, cpu)
 
         self.main = MainParadynProcess(ctx)
@@ -348,10 +551,13 @@ class ParadynISSystem:
     # ------------------------------------------------------------------
     def _run_label(self) -> str:
         cfg = self.config
-        return (
+        label = (
             f"{cfg.architecture.value} n={cfg.nodes} "
             f"seed={cfg.seed} rep={cfg.replication}"
         )
+        if self.lp_role is not None:
+            label += f" lp{self.lp_role.lp_index}"
+        return label
 
     def _attach_observability(self, tracer: Tracer) -> None:
         """Install occupancy watchers for a traced run.
@@ -364,8 +570,8 @@ class ParadynISSystem:
         pid = sim_track_pid(label)
         tracer.name_process(pid, f"sim: {label}")
         tracked: List[tuple] = [
-            (f"node{i}.cpu", cpu.busy_servers)
-            for i, cpu in enumerate(self.worker_cpus)
+            (f"node{node}.cpu", cpu.busy_servers)
+            for node, cpu in zip(self._node_ids, self.worker_cpus)
         ]
         if self.host_cpu is not None:
             tracked.append(("host.cpu", self.host_cpu.busy_servers))
@@ -444,129 +650,79 @@ class ParadynISSystem:
             base = self._snapshot.cpu_busy[cpu_index].get(owner, 0.0)
         return cpu.busy_by_owner.get(owner, 0.0) - base
 
-    def _results(self) -> SimulationResults:
-        cfg = self.config
-        m = self.metrics
-        duration = cfg.measured_duration
-        seconds = duration / 1e6
-        n = cfg.nodes
-        smp = cfg.architecture is Architecture.SMP
+    def _raw_aggregates(self) -> RawAggregates:
+        """Post-warmup accumulator deltas of this kernel instance."""
+        smp = self.config.architecture is Architecture.SMP
 
-        def total(owner: ProcessType) -> float:
-            return sum(self._busy(i, owner) for i in range(len(self.worker_cpus)))
+        cpu_busy = {}
+        for idx in range(len(self.worker_cpus)):
+            node = self._node_ids[idx]
+            for owner in _WORKER_OWNERS:
+                v = self._busy(idx, owner)
+                if v > 0.0:
+                    cpu_busy[(node, owner)] = v
 
-        pd_total = total(ProcessType.PARADYN_DAEMON)
-        app_total = total(ProcessType.APPLICATION)
-        pvmd_total = total(ProcessType.PVM_DAEMON)
-        other_total = total(ProcessType.OTHER)
-
-        if smp:
-            main_busy = total(ProcessType.PARADYN_MAIN)
-            worker_cpu_capacity = n  # pooled CPUs
-            main_capacity = n
+        if smp or self.host_cpu is None:
+            main_busy = 0.0
         else:
             host_base = self._snapshot.host_busy.get(ProcessType.PARADYN_MAIN, 0.0)
             main_busy = (
                 self.host_cpu.busy_by_owner.get(ProcessType.PARADYN_MAIN, 0.0)
                 - host_base
             )
-            worker_cpu_capacity = n * cfg.cpus_per_node
-            main_capacity = 1
 
         net_base = self._snapshot.net_busy
-        pd_net_busy = (
-            self.network.busy_by_owner.get(ProcessType.PARADYN_DAEMON, 0.0)
-            - net_base.get(ProcessType.PARADYN_DAEMON, 0.0)
-        )
-        total_net_busy = sum(
-            v - net_base.get(k, 0.0) for k, v in self.network.busy_by_owner.items()
-        )
-
-        n_daemons = len(self.daemons)
-        forwarded = sum(m.forwarded_by_node.values())
-        forward_calls = sum(m.forward_calls_by_node.values())
-
-        cpu_busy_raw = {
-            (i, owner): self._busy(i, owner)
-            for i in range(len(self.worker_cpus))
-            for owner in _WORKER_OWNERS
-            if self._busy(i, owner) > 0.0
+        net_busy = {
+            k: v - net_base.get(k, 0.0)
+            for k, v in self.network.busy_by_owner.items()
         }
 
-        pipe_blocked_time = (
-            sum(p.blocked_time for p in self.pipes) - self._snapshot.pipe_blocked_time
-        )
-        pipe_blocked_puts = (
-            sum(p.blocked_puts for p in self.pipes) - self._snapshot.pipe_blocked_puts
-        )
-
         # Downtime of daemons that are still down at the end of the run.
-        daemon_downtime = m.daemon_downtime + sum(
+        downtime_extra = sum(
             self.env.now - d._down_since
             for d in self.daemons
             if d.down and d._down_since is not None
         )
 
-        percentiles = m.latency_percentiles()
-
-        return SimulationResults(
-            config_summary=(
-                f"{cfg.architecture.value} n={n} T={cfg.sampling_period / 1e3:g}ms "
-                f"b={cfg.batch_size} {cfg.forwarding.value} "
-                f"apps={cfg.app_processes_per_node} dur={seconds:g}s"
+        return RawAggregates(
+            cpu_busy=cpu_busy,
+            main_busy=main_busy,
+            net_busy=net_busy,
+            pipe_blocked_time=(
+                sum(p.blocked_time for p in self.pipes)
+                - self._snapshot.pipe_blocked_time
             ),
-            duration=duration,
-            nodes=n,
-            pd_cpu_time_per_node=pd_total / n,
-            main_cpu_time=main_busy,
-            pvmd_cpu_time_per_node=pvmd_total / n,
-            other_cpu_time_per_node=other_total / n,
-            app_cpu_time_per_node=app_total / n,
-            node0_pd_cpu_time=self._busy(0, ProcessType.PARADYN_DAEMON),
-            node0_app_cpu_time=self._busy(0, ProcessType.APPLICATION),
-            pd_cpu_utilization_per_node=pd_total / (duration * worker_cpu_capacity),
-            app_cpu_utilization_per_node=app_total / (duration * worker_cpu_capacity),
-            main_cpu_utilization=main_busy / (duration * main_capacity),
-            is_cpu_utilization_per_node=(
-                (pd_total + main_busy) / (duration * worker_cpu_capacity)
-                if smp
-                else pd_total / (duration * worker_cpu_capacity)
+            pipe_blocked_puts=(
+                sum(p.blocked_puts for p in self.pipes)
+                - self._snapshot.pipe_blocked_puts
             ),
-            network_utilization=total_net_busy / duration,
-            pd_network_utilization=pd_net_busy / duration,
-            monitoring_latency_forwarding=m.latency_forwarding.mean,
-            monitoring_latency_total=m.latency_total.mean,
-            monitoring_latency_p50=percentiles[50.0],
-            monitoring_latency_p90=percentiles[90.0],
-            monitoring_latency_p99=percentiles[99.0],
-            throughput_per_daemon=(
-                forwarded / n_daemons / seconds if n_daemons else 0.0
-            ),
-            received_throughput=m.samples_received / seconds,
-            samples_generated=m.samples_generated,
-            samples_received=m.samples_received,
-            batches_received=m.batches_received,
-            forward_calls_per_node=forward_calls / n,
-            merges_total=sum(m.merges_by_node.values()),
-            pipe_blocked_time=pipe_blocked_time,
-            pipe_blocked_puts=pipe_blocked_puts,
-            barrier_wait_time=m.barrier_wait_time,
-            barrier_rounds=m.barrier_rounds,
-            app_cycles=m.app_cycles,
-            samples_dropped=m.samples_dropped,
-            drops_by_reason=dict(m.drops_by_reason),
-            retransmissions=m.retransmissions,
-            messages_lost=m.messages_lost,
-            messages_corrupted=m.messages_corrupted,
-            forward_timeouts=m.forward_timeouts,
-            daemon_crashes=m.daemon_crashes,
-            daemon_downtime=daemon_downtime,
-            recovery_latency=m.recovery_latency.mean,
-            cpu_busy=cpu_busy_raw,
-            observability=dict(self._obs_info),
+            n_daemons=len(self.daemons),
+            daemon_downtime_extra=downtime_extra,
+            obs_info=dict(self._obs_info),
         )
 
+    def _results(self) -> SimulationResults:
+        return assemble_results(self.config, self.metrics, self._raw_aggregates())
 
-def simulate(config: SimulationConfig) -> SimulationResults:
-    """Build and run one ROCC simulation; returns its results."""
+
+def simulate(
+    config: SimulationConfig,
+    lp_workers: Optional[int] = None,
+) -> SimulationResults:
+    """Build and run one ROCC simulation; returns its results.
+
+    ``lp_workers`` ≥ 2 requests the partitioned parallel kernel
+    (default: the ``REPRO_DES_PARALLEL`` environment variable).
+    Configurations the conservative protocol cannot handle — see
+    :func:`~repro.rocc.partition.parallel_ineligibility` — silently
+    fall back to the sequential kernel, so the knob is always safe to
+    set.
+    """
+    if lp_workers is None:
+        lp_workers = lp_workers_from_env()
+    if lp_workers is not None and lp_workers >= 2:
+        if parallel_ineligibility(config) is None:
+            from ..des.parallel import parallel_simulate
+
+            return parallel_simulate(config, lp_workers)
     return ParadynISSystem(config).run()

@@ -26,6 +26,7 @@ from .differential import (
     check_cache,
     check_event_queue,
     check_fastpath,
+    check_parallel_kernel,
     check_resilient_engine,
     check_watchdog,
     check_workers,
@@ -60,4 +61,5 @@ __all__ = [
     "check_bf_flush_noop",
     "check_resilient_engine",
     "check_event_queue",
+    "check_parallel_kernel",
 ]

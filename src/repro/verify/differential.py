@@ -15,7 +15,11 @@ but promise not to change *what* it computes:
   deadline around a run that needs neither must leave it untouched;
 * ``REPRO_DES_QUEUE`` — the calendar/ladder event schedulers vs the
   reference binary heap (the schedule key is a total order, so every
-  correct priority queue must pop the identical sequence).
+  correct priority queue must pop the identical sequence);
+* ``REPRO_DES_PARALLEL`` / ``lp_workers`` — the partitioned parallel
+  kernel vs the sequential kernel (bit-identical up to a handful of
+  re-associated float sums), including its sequential fallback on
+  ineligible configurations.
 
 Each checker here executes both sides of one such promise and diffs the
 :class:`SimulationResults` field by field (NaN == NaN); any difference
@@ -31,7 +35,12 @@ from math import isnan
 from typing import Iterable, List, Optional
 
 from ..experiments.engine import CellCache, ExperimentEngine
-from ..rocc.config import SimulationConfig
+from ..rocc.config import (
+    Architecture,
+    ForwardingTopology,
+    NetworkMode,
+    SimulationConfig,
+)
 from ..rocc.metrics import SimulationResults
 from ..rocc.system import simulate
 from .report import Violation
@@ -45,6 +54,7 @@ __all__ = [
     "check_bf_flush_noop",
     "check_resilient_engine",
     "check_event_queue",
+    "check_parallel_kernel",
     "differential_checks",
 ]
 
@@ -254,7 +264,8 @@ def check_event_queue(config: SimulationConfig) -> List[Violation]:
     and any correct priority queue must pop entries in exactly the same
     sequence.  This check runs the same configuration under
     ``REPRO_DES_QUEUE=heap`` (the reference binary heap), ``calendar``,
-    and ``ladder`` and requires bit-identical results.
+    ``ladder``, and ``auto`` (heap promoting to calendar mid-run) and
+    requires bit-identical results.
 
     Beyond the plain run it repeats the calendar-vs-heap comparison on
     the two variants whose dispatch is most order-sensitive: the
@@ -276,7 +287,7 @@ def check_event_queue(config: SimulationConfig) -> List[Violation]:
 
     # Plain run: all three implementations against the heap reference.
     ref = _simulate_with_env(config, "REPRO_DES_QUEUE", "heap")
-    for name in ("calendar", "ladder"):
+    for name in ("calendar", "ladder", "auto"):
         alt = _simulate_with_env(config, "REPRO_DES_QUEUE", name)
         diffs = diff_results(ref, alt)
         if diffs:
@@ -301,6 +312,87 @@ def check_event_queue(config: SimulationConfig) -> List[Violation]:
     return out
 
 
+#: Result fields the parallel kernel may differ on in the last ulp:
+#: their sequential values accumulate floats across all nodes in one
+#: global completion-time order, while a partitioned run adds per-LP
+#: partial sums — float addition does not associate.  Everything else
+#: must be bit-identical (per-node busy times are keyed by node, and
+#: latency tallies live wholly on the main LP).
+_PARALLEL_ULP_FIELDS = (
+    "network_utilization",
+    "pd_network_utilization",
+    "pipe_blocked_time",
+)
+
+_PARALLEL_REL_TOL = 1e-9
+
+
+def check_parallel_kernel(config: SimulationConfig) -> List[Violation]:
+    """The partitioned parallel kernel reproduces the sequential kernel.
+
+    Eligible configurations (contention-free network, direct
+    forwarding, no global couplers) run under K ∈ {2, 4} LP workers and
+    must match the sequential results bit-for-bit, except for the few
+    re-associated float sums in :data:`_PARALLEL_ULP_FIELDS`, which get
+    a 1e-9 relative tolerance.  Ineligible configurations (tree
+    forwarding, fault injection) must fall back to the sequential
+    kernel and therefore match *exactly*.
+    """
+    from ..faults.spec import DaemonCrash, FaultPlan
+    from ..rocc.partition import parallel_ineligibility
+
+    out: List[Violation] = []
+
+    def compare(cfg: SimulationConfig, k: int, what: str,
+                exact: bool) -> None:
+        seq = simulate(cfg)
+        par = simulate(cfg, lp_workers=k)
+        ignore = ("observability",) if exact else (
+            ("observability",) + _PARALLEL_ULP_FIELDS
+        )
+        diffs = diff_results(seq, par, ignore=ignore)
+        if not exact:
+            for f in _PARALLEL_ULP_FIELDS:
+                a, b = getattr(seq, f), getattr(par, f)
+                if a == b:
+                    continue
+                scale = max(abs(a), abs(b))
+                if scale == 0.0 or abs(a - b) / scale > _PARALLEL_REL_TOL:
+                    diffs.append(f"{f}: {a!r} !~ {b!r} (rel tol 1e-9)")
+        if diffs:
+            out.append(_diff_violation(
+                "differential.parallel_kernel", cfg, diffs, what,
+            ))
+
+    if parallel_ineligibility(config) is None:
+        for k in (2, 4):
+            compare(config, k, f"running on {k} LP workers", exact=False)
+    else:
+        compare(config, 2, "the sequential fallback", exact=True)
+        # If only the network model blocks partitioning (the shared-
+        # Ethernet NOW default), flip to contention-free so every
+        # battery run still exercises the real parallel path.
+        cf = config.with_(network_mode=NetworkMode.CONTENTION_FREE)
+        if parallel_ineligibility(cf) is None:
+            for k in (2, 4):
+                compare(cf, k,
+                        f"running the CF variant on {k} LP workers",
+                        exact=False)
+
+    # Ineligible variants must take the sequential fallback untouched.
+    dur = config.duration
+    faulted = config.with_(
+        faults=FaultPlan((
+            DaemonCrash(node=0, at=dur * 0.5, restart_after=dur * 0.1),
+        )),
+    )
+    compare(faulted, 4, "the fault-injection fallback", exact=True)
+    if config.nodes > 1 and config.architecture is Architecture.MPP:
+        treed = config.with_(forwarding=ForwardingTopology.TREE)
+        compare(treed, 4, "the tree-forwarding fallback", exact=True)
+    return out
+
+
 def differential_checks(
     config: SimulationConfig,
     include_workers: bool = True,
@@ -313,6 +405,7 @@ def differential_checks(
     out.extend(check_bf_flush_noop(config))
     out.extend(check_resilient_engine(config))
     out.extend(check_event_queue(config))
+    out.extend(check_parallel_kernel(config))
     if include_workers:
         out.extend(check_workers(config))
     return out

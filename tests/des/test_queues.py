@@ -20,6 +20,7 @@ from repro.des import Environment
 from repro.des.queues import (
     DEFAULT_QUEUE,
     SCHEDULERS,
+    AutoScheduler,
     CalendarQueue,
     TieBreakingHeap,
     make_scheduler,
@@ -117,7 +118,11 @@ def test_stats_shape_and_counts():
         for _ in range(4):
             sched.pop()
         stats = sched.stats()
-        assert stats["impl"] == name
+        if name == "auto":
+            # The facade names the implementation currently serving.
+            assert stats["impl"] == "auto(heap)"
+        else:
+            assert stats["impl"] == name
         assert stats["enqueues"] == 10
         assert stats["dequeues"] == 4
         assert set(stats) == {
@@ -133,6 +138,66 @@ def test_smallest_and_peek():
             sched.push((t, 0, i, None))
         assert sched.peek_time() == 1.0
         assert [e[0] for e in sched.smallest(3)] == [1.0, 3.0, 5.0]
+
+
+def test_auto_promotes_once_and_never_demotes():
+    """The auto scheduler's promotion is a one-way hysteresis latch.
+
+    Drive the schedule depth across the threshold, drain it back to
+    (near) empty, and cross the threshold again: exactly one promotion
+    happens, and the serving implementation stays the calendar even
+    when the schedule is empty again.
+    """
+    sched = AutoScheduler(promote_at=32)
+    assert sched.stats()["impl"] == "auto(heap)"
+    seq = 0
+    for i in range(40):  # cross the threshold
+        sched.push((float(i), 0, seq, None)); seq += 1
+    assert sched.promotions == 1
+    assert sched.stats()["impl"] == "auto(calendar)"
+    while len(sched):  # drain to empty: must NOT demote
+        sched.pop()
+    assert sched.stats()["impl"] == "auto(calendar)"
+    for i in range(40):  # re-cross: no second promotion
+        sched.push((100.0 + i, 0, seq, None)); seq += 1
+    assert sched.promotions == 1
+    # Counter continuity across the promotion.
+    stats = sched.stats()
+    assert stats["enqueues"] == 80
+    assert stats["dequeues"] == 40
+
+
+def test_auto_promotion_preserves_pop_order():
+    """Pop order across the promotion boundary equals the heap oracle.
+
+    The interleaving is tuned so promotion fires mid-stream with a
+    partially drained schedule — the exact state the latch hands from
+    the heap to the calendar.
+    """
+    def gaps(rng):
+        return rng.choice((0.0, 1.0, rng.expovariate(0.01), inf))
+
+    for seed in range(20):
+        sched = AutoScheduler(promote_at=24)
+        _drive(sched, random.Random(seed), 600, gaps)
+        assert sched.promotions == 1, "threshold never crossed: weak test"
+
+
+def test_auto_rebinds_environment_push():
+    """After promotion the environment enqueues via the calendar
+    directly — the delegation tax is paid only while shallow."""
+    env = Environment()
+    sched = env.scheduler
+    if sched.name != "auto":
+        pytest.skip("default queue overridden")
+    assert env._push.__self__ is sched
+    for i in range(sched.promote_at + 8):
+        env.schedule(Environment.event(env), delay=float(i))
+    assert sched.promotions == 1
+    assert env._push.__self__ is sched._impl
+    # The facade keeps serving pops/stats for the promoted impl.
+    env.run(until=4.0)
+    assert sched.stats()["impl"] == "auto(calendar)"
 
 
 class _Opaque:
