@@ -63,6 +63,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="bypass the content-addressed cell cache",
     )
     parser.add_argument(
+        "--workload",
+        metavar="NAME[:k=v,...]",
+        default=None,
+        help="open-workload traffic spec passed to experiments that "
+        "accept one (e.g. open_workload; 'stationary:rate=200', "
+        "'open:avg_users=100,rpm=60')",
+    )
+    parser.add_argument(
         "--cell-timeout",
         type=float,
         default=None,
@@ -148,6 +156,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             lp_workers = int(lp_workers)
         except ValueError:
             parser.error("--lp-workers must be an integer or 'auto'")
+        if lp_workers < 1:
+            parser.error(f"--lp-workers must be >= 1, got {lp_workers}")
+    workload = None
+    if args.workload is not None:
+        from ..workload.generators import TrafficSpec
+
+        try:
+            workload = TrafficSpec.parse(args.workload)
+            workload.validate()
+        except ValueError as exc:
+            parser.error(str(exc))
     engine = ResilientEngine(
         workers=args.workers,
         lp_workers=lp_workers,
@@ -175,12 +194,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(exc, file=sys.stderr)
                 status = 2
                 continue
+            extra = {}
+            if workload is not None and experiment.accepts("workload"):
+                extra["workload"] = workload
             t0 = time.time()
             if tracer is not None:
                 with tracer.span(id_, cat="experiment"):
-                    artifact = experiment.run(quick=not args.full)
+                    artifact = experiment.run(quick=not args.full, **extra)
             else:
-                artifact = experiment.run(quick=not args.full)
+                artifact = experiment.run(quick=not args.full, **extra)
             elapsed = time.time() - t0
             print(artifact.format())
             if args.out:

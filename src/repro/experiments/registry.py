@@ -16,6 +16,7 @@ Usage::
 
 from __future__ import annotations
 
+import inspect
 import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
@@ -36,6 +37,44 @@ class Experiment:
     runner: Callable[..., Artifact]
     description: str = ""
 
+    def accepts(self, name: str) -> bool:
+        """Whether the runner takes keyword argument *name*."""
+        try:
+            sig = inspect.signature(self.runner)
+        except (TypeError, ValueError):  # builtins / C callables
+            return True
+        params = sig.parameters.values()
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+            return True
+        return any(
+            p.name == name
+            and p.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+            for p in params
+        )
+
+    def _check_kwargs(self, kwargs: Dict) -> None:
+        """Fail fast on kwargs the runner does not take.
+
+        Without this, an unknown keyword surfaces as a bare
+        ``TypeError`` from deep inside the runner (often only after
+        cells already simulated); here it names the experiment and its
+        actual signature instead.
+        """
+        unknown = [k for k in kwargs if not self.accepts(k)]
+        if unknown:
+            try:
+                sig = str(inspect.signature(self.runner))
+            except (TypeError, ValueError):  # pragma: no cover
+                sig = "(...)"
+            raise TypeError(
+                f"experiment {self.id!r} got unexpected keyword argument(s) "
+                f"{', '.join(sorted(unknown))}; its runner signature is "
+                f"{self.runner.__name__}{sig}"
+            )
+
     def run(
         self,
         quick: Optional[bool] = None,
@@ -51,6 +90,7 @@ class Experiment:
         through it; the engine-activity delta for this run is appended
         to the artifact's notes.
         """
+        self._check_kwargs(kwargs)
         if quick is None:
             quick = os.environ.get("REPRO_FULL", "") != "1"
         if engine is None:
@@ -95,6 +135,7 @@ def _ensure_loaded() -> None:
         extras,
         mpp_exp,
         now_exp,
+        open_workload_exp,
         smp_exp,
         summary,
         validation,

@@ -14,6 +14,7 @@ import argparse
 import os
 from typing import List, Optional
 
+from ..workload.generators import TrafficSpec
 from .adaptive import RegulatorConfig
 from .aggregate import simulate_aggregated
 from .config import Architecture, ForwardingTopology, SimulationConfig
@@ -51,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline run without the IS")
     parser.add_argument("--adaptive-budget", type=float, default=None,
                         help="enable overhead regulation at this CPU fraction")
+    parser.add_argument("--workload", metavar="NAME[:k=v,...]", default=None,
+                        help="open-workload traffic spec driving external "
+                        "requests into the nodes (e.g. 'stationary:rate=200', "
+                        "'open:avg_users=100,rpm=60'); see "
+                        "repro.workload.generators for the registry")
     parser.add_argument("--lp-workers", type=int, default=None, metavar="K",
                         help="partition the run across K parallel LP worker "
                         "processes (conservative sync; default: "
@@ -90,7 +96,9 @@ def config_from_args(args: argparse.Namespace) -> SimulationConfig:
         if args.adaptive_budget is not None
         else None
     )
+    traffic = getattr(args, "workload", None)
     return SimulationConfig(
+        traffic=TrafficSpec.parse(traffic) if traffic is not None else None,
         architecture=Architecture(args.arch),
         nodes=args.nodes,
         app_processes_per_node=args.apps,
@@ -137,6 +145,16 @@ def format_results(r: SimulationResults) -> str:
         lines.append(f"barriers      : {r.barrier_rounds} rounds")
     if r.merges_total:
         lines.append(f"tree merges   : {r.merges_total}")
+    if r.open_arrivals:
+        line = (
+            f"open workload : {r.open_completed}/{r.open_arrivals} requests "
+            f"served @ {r.open_offered_rate:.1f} req/s offered"
+        )
+        if r.open_latency_mean == r.open_latency_mean:  # not NaN
+            line += f", {r.open_latency_mean / 1e3:.2f} ms latency"
+        if r.open_active_users == r.open_active_users:
+            line += f", {r.open_active_users:.1f} users"
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -171,10 +189,18 @@ def _resilient_run(args, config):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.max_retries < 0:
-        build_parser().error("--max-retries must be >= 0")
-    config = config_from_args(args)
+        parser.error("--max-retries must be >= 0")
+    if args.lp_workers is not None and args.lp_workers < 1:
+        parser.error(
+            f"--lp-workers must be >= 1, got {args.lp_workers}"
+        )
+    try:
+        config = config_from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.aggregated:
         runner = simulate_aggregated
     else:

@@ -287,11 +287,18 @@ def parallel_ineligibility(config: SimulationConfig) -> Optional[str]:
         return "recovery policy state is not partitioned"
     if config.adaptive is not None:
         return "adaptive overhead regulation is a global control loop"
+    if config.traffic is not None:
+        return "open-workload traffic is one global arrival stream"
     return None
 
 
 def lp_workers_from_env() -> Optional[int]:
-    """Parse ``REPRO_DES_PARALLEL`` (unset / empty / <2 → ``None``)."""
+    """Parse ``REPRO_DES_PARALLEL`` (unset / empty / ``1`` → ``None``).
+
+    A zero or negative LP count is a configuration error, not a
+    request for the sequential kernel, and raises :class:`ValueError`
+    instead of silently falling back.
+    """
     raw = os.environ.get("REPRO_DES_PARALLEL", "").strip()
     if not raw:
         return None
@@ -301,4 +308,8 @@ def lp_workers_from_env() -> Optional[int]:
         raise ValueError(
             f"REPRO_DES_PARALLEL={raw!r} is not an integer LP count"
         ) from None
+    if k < 1:
+        raise ValueError(
+            f"REPRO_DES_PARALLEL={raw!r}: LP count must be >= 1"
+        )
     return k if k >= 2 else None

@@ -1,0 +1,150 @@
+"""External open-workload traffic feeding the ROCC model.
+
+The paper's model is *closed*: each node runs a fixed set of
+application processes that loop forever (compute → communicate).
+:class:`OpenArrivalSource` adds the complementary *open* model on top:
+a lazy :class:`~repro.workload.generators.TrafficGenerator` (selected
+by ``config.traffic``) drives externally-arriving requests into the
+monitored nodes, each request costing one application compute burst
+plus one communication burst — the marginal load one more user
+interaction places on the monitored system.
+
+Wiring per served station (one per node on NOW/MPP; the SMP's pooled
+CPU is a single station):
+
+* an unbounded :class:`~repro.des.stores.Store` inbox — arrivals never
+  block the source, they queue (open models have no admission control);
+* one server process that drains the inbox FIFO: CPU burst drawn from
+  ``workload.app_cpu``, then a network transfer drawn from
+  ``workload.app_network``, both charged as ``APPLICATION`` work so
+  open load contends with the closed loops and the IS daemons on the
+  same round-robin CPUs and interconnect.
+
+Determinism: the generator's seed derives from the cell's
+:class:`~repro.variates.streams.StreamFactory` (stream name
+``workload/arrivals``), the per-station service variates from streams
+``node{i}/open/cpu|network`` — all functions of ``(seed,
+replication)``, so a seeded open-workload cell replays bit-identically
+and its cache fingerprint (which covers ``config.traffic``) is sound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..des.stores import Store
+from ..workload.generators import USERS_MARKER
+from ..workload.records import ProcessType
+
+__all__ = ["OpenArrivalSource"]
+
+
+class OpenArrivalSource:
+    """DES arrival process replaying one traffic generator into a system.
+
+    Parameters
+    ----------
+    system:
+        The fully-built :class:`~repro.rocc.system.ParadynISSystem`;
+        the source attaches one inbox + server per entry in
+        ``system.worker_cpus``.
+    """
+
+    def __init__(self, system) -> None:
+        cfg = system.config
+        env = system.env
+        self.env = env
+        self.metrics = system.metrics
+        self.stations = len(system.worker_cpus)
+        self.generator = cfg.traffic.build(
+            nodes=self.stations,
+            seed_seq=system.streams.seed_sequence("workload/arrivals"),
+        )
+        self.inboxes: List[Store] = []
+        wl = cfg.workload
+        for idx, cpu in enumerate(system.worker_cpus):
+            node = system._node_ids[idx]
+            inbox = Store(env)
+            self.inboxes.append(inbox)
+            cpu_var = system.streams.variates(f"node{node}/open/cpu", wl.app_cpu)
+            net_var = system.streams.variates(
+                f"node{node}/open/network", wl.app_network
+            )
+            env.process(
+                self._server(inbox, cpu, system.network, cpu_var, net_var),
+                name=f"node{node}/open/server",
+            )
+        # Active-user level integral (time-weighted), fed by the open
+        # model's USERS_MARKER events; NaN level until the first marker.
+        self._users_level = math.nan
+        self._users_since = 0.0
+        self._users_integral = 0.0
+        self._users_seen = False
+        self._window_start = 0.0
+        env.process(self._arrivals(), name="workload/arrivals")
+
+    # ------------------------------------------------------------------
+    def _arrivals(self):
+        """Replay the generator's event stream in simulation time."""
+        env = self.env
+        hold = env.hold
+        metrics = self.metrics
+        inboxes = self.inboxes
+        n = self.stations
+        for t, node, users in self.generator:
+            delay = t - env.now
+            if delay > 0.0:
+                yield hold(delay)
+            if node == USERS_MARKER:
+                self._note_users(env.now, users)
+            else:
+                metrics.note_open_arrival(node)
+                inboxes[node % n].put(env.now)
+
+    def _server(self, inbox: Store, cpu, network, cpu_var, net_var):
+        """Serve queued open requests FIFO: CPU burst, then transfer."""
+        env = self.env
+        metrics = self.metrics
+        while True:
+            arrived = yield inbox.get()
+            yield cpu.execute(cpu_var(), ProcessType.APPLICATION)
+            yield network.transfer(net_var(), ProcessType.APPLICATION)
+            metrics.note_open_completion(env.now, arrived)
+
+    # ------------------------------------------------------------------
+    # Active-user accounting
+    # ------------------------------------------------------------------
+    def _note_users(self, now: float, users: float) -> None:
+        if self._users_seen:
+            self._users_integral += self._users_level * (now - self._users_since)
+        self._users_level = users
+        self._users_since = now
+        self._users_seen = True
+
+    def warmup_snapshot(self, now: float) -> None:
+        """Restart the user-level integral at the warmup boundary.
+
+        The current level persists across the boundary (the population
+        does not reset when measurement starts) — only the integral and
+        its window restart.
+        """
+        self._users_integral = 0.0
+        self._users_since = now
+        self._window_start = now
+
+    def users_mean(self, now: float) -> float:
+        """Time-averaged active-user level over the measured window.
+
+        NaN when the workload never reported a user level (generators
+        without a user model) or the window is empty.
+        """
+        if not self._users_seen:
+            return math.nan
+        window = now - self._window_start
+        if window <= 0.0:
+            return math.nan
+        integral = self._users_integral + self._users_level * (
+            now - self._users_since
+        )
+        return integral / window

@@ -54,14 +54,23 @@ class StreamFactory:
         self._root = np.random.SeedSequence(entropy=(self.seed, self.replication))
         self._cache: Dict[str, np.random.Generator] = {}
 
+    def seed_sequence(self, name: str) -> np.random.SeedSequence:
+        """The root :class:`~numpy.random.SeedSequence` of stream *name*.
+
+        Exposed so consumers that need restartable streams (the lazy
+        workload generators rebuild their stream on every iteration)
+        can derive them from the same named entropy as
+        :meth:`generator`.
+        """
+        return np.random.SeedSequence(
+            entropy=(self.seed, self.replication, _name_to_key(name))
+        )
+
     def generator(self, name: str) -> np.random.Generator:
         """Return the generator for stream *name* (cached)."""
         gen = self._cache.get(name)
         if gen is None:
-            seq = np.random.SeedSequence(
-                entropy=(self.seed, self.replication, _name_to_key(name))
-            )
-            gen = np.random.Generator(np.random.PCG64(seq))
+            gen = np.random.Generator(np.random.PCG64(self.seed_sequence(name)))
             self._cache[name] = gen
         return gen
 

@@ -26,6 +26,7 @@ from .differential import (
     check_cache,
     check_event_queue,
     check_fastpath,
+    check_open_workload,
     check_parallel_kernel,
     check_resilient_engine,
     check_watchdog,
@@ -59,6 +60,7 @@ __all__ = [
     "check_workers",
     "check_cache",
     "check_bf_flush_noop",
+    "check_open_workload",
     "check_resilient_engine",
     "check_event_queue",
     "check_parallel_kernel",

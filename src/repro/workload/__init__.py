@@ -30,10 +30,36 @@ from .process_model import (
     legal_sequence,
     simplify,
 )
+from .generators import (
+    TRAFFIC_REGISTRY,
+    BurstyWorkload,
+    FlashCrowdWorkload,
+    OpenWorkload,
+    RVConfig,
+    StationaryWorkload,
+    TraceReplayWorkload,
+    TrafficGenerator,
+    TrafficSpec,
+    available_traffic,
+    register_traffic,
+    traffic_generator,
+)
 from .records import ProcessType, ResourceKind, TraceFile, TraceRecord
 from .tracing import AIXTraceFacility, TracingConfig
 
 __all__ = [
+    "TrafficSpec",
+    "TrafficGenerator",
+    "RVConfig",
+    "StationaryWorkload",
+    "TraceReplayWorkload",
+    "BurstyWorkload",
+    "FlashCrowdWorkload",
+    "OpenWorkload",
+    "TRAFFIC_REGISTRY",
+    "register_traffic",
+    "traffic_generator",
+    "available_traffic",
     "ProcessType",
     "ResourceKind",
     "TraceRecord",

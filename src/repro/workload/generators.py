@@ -1,0 +1,686 @@
+"""Open-workload traffic generators driving the ROCC instrumentation system.
+
+The paper evaluates the Paradyn IS only under *closed* workloads: a
+fixed population of per-node application processes that compute,
+communicate, and immediately start over.  Real monitored systems face
+*open* arrivals — externally driven, bursty, diurnal, occasionally a
+flash crowd.  This module supplies those arrival models as **lazy
+iterator workloads** (after icarus's ``scenarios/workload.py``): a
+generator never materializes its event schedule in RAM; each call to
+``__iter__`` returns a fresh stream of events generated on the fly.
+
+Every generator is registered under a name (:func:`register_traffic`)
+and is instantiated from a declarative, picklable :class:`TrafficSpec`
+(``name`` plus ``key=value`` parameters — also parseable from the CLI
+syntax ``NAME[:k=v,...]``).  The spec travels inside
+:class:`~repro.rocc.config.SimulationConfig`, so the experiment
+engine's content-addressed cell fingerprint covers the workload
+automatically.
+
+**Event protocol.**  Iterating a generator yields ``(time_us, node,
+active_users)`` triples in non-decreasing time order:
+
+* ``node >= 0`` — one request arrives at that node at ``time_us``;
+* ``node == USERS_MARKER`` (−1) — no request; the generator's active
+  user population changed to ``active_users`` at ``time_us`` (only the
+  ``open`` model emits these).
+
+``active_users`` is ``nan`` for generators without a user-population
+model.
+
+**Determinism.**  A generator owns a :class:`numpy.random.SeedSequence`
+and builds a *fresh* PCG64 stream at the start of every iteration, so
+the same ``(spec, seed)`` pair always produces the same arrivals —
+across two iterations of the same object and across rebuilt objects.
+Inside a simulation the seed sequence is derived from the cell's
+variate-stream factory, which keeps runs replay-deterministic and
+cache-fingerprintable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+__all__ = [
+    "USERS_MARKER",
+    "TrafficEvent",
+    "RVConfig",
+    "TrafficSpec",
+    "TrafficGenerator",
+    "StationaryWorkload",
+    "TraceReplayWorkload",
+    "BurstyWorkload",
+    "FlashCrowdWorkload",
+    "OpenWorkload",
+    "register_traffic",
+    "traffic_generator",
+    "available_traffic",
+    "TRAFFIC_REGISTRY",
+]
+
+#: Pseudo node id of an active-user level-change marker event.
+USERS_MARKER = -1
+
+#: One workload event: ``(time_us, node, active_users)``.
+TrafficEvent = Tuple[float, int, float]
+
+#: Per-user request rate is expressed in requests/minute (AsyncFlow's
+#: ``avg_request_per_minute_per_user``); times here are µs.
+_US_PER_MINUTE = 60e6
+_US_PER_SECOND = 1e6
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+TRAFFIC_REGISTRY: Dict[str, Type["TrafficGenerator"]] = {}
+
+
+def register_traffic(name: str):
+    """Class decorator registering a workload generator under *name*."""
+
+    def decorator(cls: Type["TrafficGenerator"]) -> Type["TrafficGenerator"]:
+        if name in TRAFFIC_REGISTRY:
+            raise ValueError(f"traffic generator {name!r} already registered")
+        TRAFFIC_REGISTRY[name] = cls
+        cls.workload_name = name
+        return cls
+
+    return decorator
+
+
+def traffic_generator(name: str) -> Type["TrafficGenerator"]:
+    """Look up a registered generator class by name."""
+    try:
+        return TRAFFIC_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(available_traffic())}"
+        ) from None
+
+
+def available_traffic() -> Tuple[str, ...]:
+    """Names of all registered workload generators, sorted."""
+    return tuple(sorted(TRAFFIC_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Declarative spec
+# ---------------------------------------------------------------------------
+
+
+def _parse_value(text: str) -> Any:
+    """CLI parameter literal → int / float / bool / str."""
+    low = text.strip()
+    if low.lower() in ("true", "yes", "on"):
+        return True
+    if low.lower() in ("false", "no", "off"):
+        return False
+    try:
+        return int(low)
+    except ValueError:
+        pass
+    try:
+        return float(low)
+    except ValueError:
+        pass
+    return low
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Declarative, picklable description of one traffic workload.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so that two
+    specs describing the same workload are equal, hash equal, and
+    fingerprint equal regardless of construction order.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "params", tuple(sorted(tuple(p) for p in self.params))
+        )
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "TrafficSpec":
+        """Parse the CLI syntax ``NAME[:k=v,...]``.
+
+        Example: ``open:avg_users=200,rpm=30,window_s=0.5``.
+        """
+        text = text.strip()
+        if not text:
+            raise ValueError("empty workload spec")
+        name, _, rest = text.partition(":")
+        name = name.strip()
+        params = []
+        if rest.strip():
+            for pair in rest.split(","):
+                key, eq, raw = pair.partition("=")
+                if not eq or not key.strip():
+                    raise ValueError(
+                        f"malformed workload parameter {pair!r} in {text!r} "
+                        "(expected k=v)"
+                    )
+                params.append((key.strip(), _parse_value(raw)))
+        return cls(name=name, params=tuple(params))
+
+    @classmethod
+    def of(cls, name: str, **params: Any) -> "TrafficSpec":
+        """Programmatic constructor: ``TrafficSpec.of("open", rpm=30)``."""
+        return cls(name=name, params=tuple(params.items()))
+
+    @classmethod
+    def coerce(cls, value) -> "TrafficSpec":
+        """Accept a spec, a CLI string, or a ``{"name": ..., ...}`` dict."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, dict):
+            d = dict(value)
+            try:
+                name = d.pop("name")
+            except KeyError:
+                raise ValueError(
+                    "workload dict must carry a 'name' key"
+                ) from None
+            return cls(name=name, params=tuple(d.items()))
+        raise TypeError(
+            f"cannot build a TrafficSpec from {type(value).__name__}"
+        )
+
+    # -- use -------------------------------------------------------------
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def label(self) -> str:
+        """Round-trippable CLI form of the spec."""
+        if not self.params:
+            return self.name
+        joined = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}:{joined}"
+
+    def build(
+        self, nodes: int, seed_seq: Optional[np.random.SeedSequence] = None
+    ) -> "TrafficGenerator":
+        """Instantiate the registered generator for *nodes* targets."""
+        cls = traffic_generator(self.name)
+        if seed_seq is None:
+            seed_seq = np.random.SeedSequence(0)
+        try:
+            return cls(nodes=nodes, seed_seq=seed_seq, **self.kwargs())
+        except TypeError as exc:
+            raise ValueError(
+                f"bad parameters for workload {self.name!r}: {exc}"
+            ) from None
+
+    def validate(self) -> None:
+        """Fail fast on an unknown name or bad parameters."""
+        self.build(nodes=1)
+
+
+# ---------------------------------------------------------------------------
+# Generator base class
+# ---------------------------------------------------------------------------
+
+
+class TrafficGenerator:
+    """Base of every iterator-style workload.
+
+    Subclasses implement :meth:`events`, a generator over
+    :data:`TrafficEvent` triples that receives a fresh random stream
+    per iteration.  Times must be non-decreasing and non-negative.
+    """
+
+    workload_name = "?"
+
+    def __init__(self, nodes: int, seed_seq: np.random.SeedSequence):
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        self.nodes = int(nodes)
+        self._seed_seq = seed_seq
+
+    def _fresh_rng(self) -> np.random.Generator:
+        # SeedSequence.generate_state is a pure function, so every
+        # iteration starts an identical PCG64 stream: iterating twice
+        # yields the same arrivals.
+        return np.random.Generator(np.random.PCG64(self._seed_seq))
+
+    def __iter__(self) -> Iterator[TrafficEvent]:
+        return self.events(self._fresh_rng())
+
+    def events(self, rng: np.random.Generator) -> Iterator[TrafficEvent]:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------
+    def _node_picker(self, rng: np.random.Generator, alpha: float = 0.0):
+        """Node-popularity sampler: uniform, or truncated Zipf(alpha).
+
+        Under Zipf popularity, node ``i`` receives requests with
+        probability proportional to ``1 / (i + 1) ** alpha`` (icarus's
+        ``TruncatedZipfDist`` over receivers).
+        """
+        n = self.nodes
+        if alpha <= 0.0:
+            def pick_uniform() -> int:
+                return int(rng.integers(0, n))
+
+            return pick_uniform
+        weights = np.arange(1, n + 1, dtype=float) ** -float(alpha)
+        cdf = np.cumsum(weights / weights.sum())
+
+        def pick_zipf() -> int:
+            return int(np.searchsorted(cdf, rng.random(), side="right"))
+
+        return pick_zipf
+
+    def _thinned_poisson(
+        self,
+        rng: np.random.Generator,
+        rate_of,  # t_us -> requests per µs
+        rate_max: float,  # per µs, must dominate rate_of everywhere
+        pick,
+    ) -> Iterator[TrafficEvent]:
+        """Lewis–Shedler thinning for a time-varying Poisson process."""
+        if rate_max <= 0.0:
+            return
+        t = 0.0
+        scale = 1.0 / rate_max
+        while True:
+            t += rng.exponential(scale)
+            if rng.random() < rate_of(t) / rate_max:
+                yield (t, pick(), math.nan)
+
+
+def _require_positive(name: str, value: float) -> float:
+    value = float(value)
+    if not value > 0.0 or not math.isfinite(value):
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def _require_nonnegative(name: str, value: float) -> float:
+    value = float(value)
+    if value < 0.0 or not math.isfinite(value):
+        raise ValueError(f"{name} must be >= 0 and finite, got {value!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Stationary Poisson × Zipf
+# ---------------------------------------------------------------------------
+
+
+@register_traffic("stationary")
+class StationaryWorkload(TrafficGenerator):
+    """Stationary Poisson arrivals with Zipf-distributed node popularity.
+
+    Parameters
+    ----------
+    rate:
+        Aggregate request rate, requests per simulated **second**.
+        ``rate=0`` is the explicit no-traffic workload (used by the
+        differential no-op check).
+    alpha:
+        Zipf skew of node popularity; ``0`` = uniform over nodes.
+    """
+
+    def __init__(self, nodes, seed_seq, rate: float = 100.0,
+                 alpha: float = 0.0):
+        super().__init__(nodes, seed_seq)
+        self.rate = _require_nonnegative("rate", rate)
+        self.alpha = _require_nonnegative("alpha", alpha)
+
+    def events(self, rng: np.random.Generator) -> Iterator[TrafficEvent]:
+        if self.rate == 0.0:
+            return
+        pick = self._node_picker(rng, self.alpha)
+        scale = _US_PER_SECOND / self.rate  # mean inter-arrival, µs
+        t = 0.0
+        while True:
+            t += rng.exponential(scale)
+            yield (t, pick(), math.nan)
+
+
+# ---------------------------------------------------------------------------
+# Trace-driven replay
+# ---------------------------------------------------------------------------
+
+
+@register_traffic("replay")
+class TraceReplayWorkload(TrafficGenerator):
+    """Replay arrivals from a recorded trace, streamed lazily.
+
+    Parameters
+    ----------
+    path:
+        Text file with one arrival per line: ``time_us [node]``
+        (whitespace-separated; blank lines and ``#`` comments are
+        skipped).  Read lazily on each iteration, so a multi-gigabyte
+        trace never lives in RAM.
+    times:
+        Programmatic alternative to *path*: a sequence of arrival
+        times (µs).  Exactly one of *path* / *times* must be given.
+    scale:
+        Time-dilation factor applied to every timestamp (``2`` plays
+        the trace at half speed).
+    loop:
+        Repeat the trace forever, shifting each pass by the previous
+        pass's end time.
+
+    Lines without a node column are assigned uniformly at random (from
+    the generator's own deterministic stream); explicit node ids are
+    folded modulo the node count so a trace recorded on a larger
+    cluster still replays.
+    """
+
+    def __init__(self, nodes, seed_seq, path: Optional[str] = None,
+                 times: Optional[Sequence[float]] = None,
+                 scale: float = 1.0, loop: bool = False):
+        super().__init__(nodes, seed_seq)
+        if (path is None) == (times is None):
+            raise ValueError("replay needs exactly one of path= or times=")
+        self.path = path
+        self.times = tuple(float(t) for t in times) if times is not None else None
+        self.scale = _require_positive("scale", scale)
+        self.loop = bool(loop)
+        if self.times is not None:
+            self._check_monotone(self.times)
+
+    @staticmethod
+    def _check_monotone(ts: Sequence[float]) -> None:
+        last = 0.0
+        for t in ts:
+            if t < 0.0 or not math.isfinite(t):
+                raise ValueError(f"trace time {t!r} is not a finite time >= 0")
+            if t < last:
+                raise ValueError(
+                    f"trace times must be non-decreasing ({t} after {last})"
+                )
+            last = t
+
+    def _records(self) -> Iterator[Tuple[float, Optional[int]]]:
+        if self.times is not None:
+            for t in self.times:
+                yield t, None
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                text = line.split("#", 1)[0].strip()
+                if not text:
+                    continue
+                parts = text.split()
+                try:
+                    t = float(parts[0])
+                    node = int(parts[1]) if len(parts) > 1 else None
+                except ValueError:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: malformed trace line {line!r}"
+                    ) from None
+                yield t, node
+
+    def events(self, rng: np.random.Generator) -> Iterator[TrafficEvent]:
+        pick = self._node_picker(rng)
+        offset = 0.0
+        while True:
+            last = 0.0
+            seen = False
+            for t, node in self._records():
+                if self.times is None:  # file path: validate as we stream
+                    if t < 0.0 or not math.isfinite(t):
+                        raise ValueError(
+                            f"trace time {t!r} is not a finite time >= 0"
+                        )
+                    if t < last:
+                        raise ValueError(
+                            "trace times must be non-decreasing "
+                            f"({t} after {last})"
+                        )
+                last = t
+                seen = True
+                where = pick() if node is None else node % self.nodes
+                yield (offset + t * self.scale, where, math.nan)
+            if not self.loop or not seen:
+                return
+            offset += last * self.scale
+
+
+# ---------------------------------------------------------------------------
+# Bursty / diurnal modulation
+# ---------------------------------------------------------------------------
+
+
+@register_traffic("bursty")
+class BurstyWorkload(TrafficGenerator):
+    """Sinusoidally modulated Poisson arrivals (diurnal / bursty load).
+
+    The instantaneous rate is ``rate · (1 + depth · sin(2πt/period +
+    phase))``, sampled exactly by Lewis–Shedler thinning against the
+    peak rate — still lazy, still deterministic.
+
+    Parameters
+    ----------
+    rate:       mean request rate, requests per simulated second.
+    period_s:   modulation period, seconds (a "day" at simulation scale).
+    depth:      modulation depth in ``[0, 1)``; 0 degenerates to
+                stationary Poisson.
+    phase:      phase offset, radians.
+    alpha:      Zipf skew of node popularity (0 = uniform).
+    """
+
+    def __init__(self, nodes, seed_seq, rate: float = 100.0,
+                 period_s: float = 1.0, depth: float = 0.5,
+                 phase: float = 0.0, alpha: float = 0.0):
+        super().__init__(nodes, seed_seq)
+        self.rate = _require_positive("rate", rate)
+        self.period_s = _require_positive("period_s", period_s)
+        depth = float(depth)
+        if not 0.0 <= depth < 1.0:
+            raise ValueError(f"depth must lie in [0, 1), got {depth!r}")
+        self.depth = depth
+        self.phase = float(phase)
+        self.alpha = _require_nonnegative("alpha", alpha)
+
+    def events(self, rng: np.random.Generator) -> Iterator[TrafficEvent]:
+        pick = self._node_picker(rng, self.alpha)
+        base = self.rate / _US_PER_SECOND  # per µs
+        omega = 2.0 * math.pi / (self.period_s * _US_PER_SECOND)
+        depth, phase = self.depth, self.phase
+
+        def rate_of(t: float) -> float:
+            return base * (1.0 + depth * math.sin(omega * t + phase))
+
+        return self._thinned_poisson(
+            rng, rate_of, base * (1.0 + depth), pick
+        )
+
+
+# ---------------------------------------------------------------------------
+# Flash crowd
+# ---------------------------------------------------------------------------
+
+
+@register_traffic("flashcrowd")
+class FlashCrowdWorkload(TrafficGenerator):
+    """Baseline Poisson load with recurring flash-crowd surges.
+
+    The rate is ``rate`` outside surge windows and ``rate ×
+    multiplier`` inside them; surges start at ``first_at`` and repeat
+    every ``every_s`` seconds (``every_s=0`` → a single surge), each
+    lasting ``duration_s``.
+
+    Parameters
+    ----------
+    rate:        baseline request rate, requests per simulated second.
+    multiplier:  rate multiplier during a surge (> 1).
+    first_at_s:  start of the first surge, seconds.
+    duration_s:  surge duration, seconds.
+    every_s:     surge spacing, seconds (0 = one surge only).
+    alpha:       Zipf skew of node popularity (0 = uniform).
+    """
+
+    def __init__(self, nodes, seed_seq, rate: float = 100.0,
+                 multiplier: float = 10.0, first_at_s: float = 1.0,
+                 duration_s: float = 0.5, every_s: float = 0.0,
+                 alpha: float = 0.0):
+        super().__init__(nodes, seed_seq)
+        self.rate = _require_positive("rate", rate)
+        self.multiplier = float(multiplier)
+        if self.multiplier <= 1.0:
+            raise ValueError(
+                f"multiplier must be > 1 (got {self.multiplier!r}); "
+                "use 'stationary' for flat load"
+            )
+        self.first_at_s = _require_nonnegative("first_at_s", first_at_s)
+        self.duration_s = _require_positive("duration_s", duration_s)
+        self.every_s = _require_nonnegative("every_s", every_s)
+        if 0.0 < self.every_s <= self.duration_s:
+            raise ValueError("every_s must exceed duration_s (or be 0)")
+        self.alpha = _require_nonnegative("alpha", alpha)
+
+    def _surging(self, t_us: float) -> bool:
+        first = self.first_at_s * _US_PER_SECOND
+        if t_us < first:
+            return False
+        if self.every_s == 0.0:
+            return t_us < first + self.duration_s * _US_PER_SECOND
+        within = (t_us - first) % (self.every_s * _US_PER_SECOND)
+        return within < self.duration_s * _US_PER_SECOND
+
+    def events(self, rng: np.random.Generator) -> Iterator[TrafficEvent]:
+        pick = self._node_picker(rng, self.alpha)
+        base = self.rate / _US_PER_SECOND
+        mult = self.multiplier
+
+        def rate_of(t: float) -> float:
+            return base * mult if self._surging(t) else base
+
+        return self._thinned_poisson(rng, rate_of, base * mult, pick)
+
+
+# ---------------------------------------------------------------------------
+# AsyncFlow-style open model
+# ---------------------------------------------------------------------------
+
+#: Bounds of the user resampling window, seconds.  AsyncFlow constrains
+#: the window to [1, 120] wall seconds; ROCC cells simulate a few
+#: seconds total, so the lower bound here admits sub-second windows.
+MIN_USER_SAMPLING_WINDOW_S = 0.01
+MAX_USER_SAMPLING_WINDOW_S = 120.0
+
+
+@dataclass(frozen=True)
+class RVConfig:
+    """A random variable of the open model (AsyncFlow's ``RVConfig``).
+
+    ``mean`` must be positive; ``distribution`` is ``poisson`` or
+    ``normal``; ``variance`` defaults to ``mean`` for the normal
+    distribution (and is meaningless for Poisson, whose variance *is*
+    the mean).
+    """
+
+    mean: float
+    distribution: str = "poisson"
+    variance: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mean", float(self.mean))
+        if not self.mean > 0.0 or not math.isfinite(self.mean):
+            raise ValueError(f"RVConfig.mean must be positive, got {self.mean!r}")
+        if self.distribution not in ("poisson", "normal"):
+            raise ValueError(
+                f"RVConfig.distribution must be 'poisson' or 'normal', "
+                f"got {self.distribution!r}"
+            )
+        if self.variance is None and self.distribution == "normal":
+            object.__setattr__(self, "variance", self.mean)
+        if self.variance is not None:
+            object.__setattr__(self, "variance", float(self.variance))
+            if self.variance < 0.0:
+                raise ValueError("RVConfig.variance must be >= 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One non-negative draw."""
+        if self.distribution == "poisson":
+            return float(rng.poisson(self.mean))
+        value = rng.normal(self.mean, math.sqrt(self.variance))
+        return max(0.0, value)
+
+
+@register_traffic("open")
+class OpenWorkload(TrafficGenerator):
+    """AsyncFlow-style open arrival model: users × per-user rate.
+
+    Every ``window_s`` seconds the active-user population is resampled
+    from ``avg_users`` (Poisson or Normal); within a window, requests
+    form a Poisson process of rate ``users × rpm / 60`` per second.
+    The supported joint cases match AsyncFlow's requests generator:
+    Poisson×Poisson and Normal×Poisson — the per-user rate **must** be
+    Poisson-distributed (its ``rpm`` parameter is the Poisson mean of
+    a per-user requests-per-minute count, redrawn each window).
+
+    Emits a :data:`USERS_MARKER` event at every window boundary so the
+    simulation can integrate the active-user level over time.
+
+    Parameters
+    ----------
+    avg_users:   mean concurrent active users.
+    users_dist:  ``poisson`` (default) or ``normal``.
+    users_var:   variance when ``users_dist='normal'`` (default: mean).
+    rpm:         mean requests per minute per user (Poisson).
+    window_s:    user resampling window, seconds, within
+                 [:data:`MIN_USER_SAMPLING_WINDOW_S`,
+                 :data:`MAX_USER_SAMPLING_WINDOW_S`].
+    alpha:       Zipf skew of node popularity (0 = uniform).
+    """
+
+    def __init__(self, nodes, seed_seq, avg_users: float = 100.0,
+                 users_dist: str = "poisson",
+                 users_var: Optional[float] = None,
+                 rpm: float = 60.0, window_s: float = 1.0,
+                 alpha: float = 0.0):
+        super().__init__(nodes, seed_seq)
+        self.users = RVConfig(
+            mean=avg_users, distribution=users_dist, variance=users_var
+        )
+        self.rpm = RVConfig(mean=rpm, distribution="poisson")
+        window_s = float(window_s)
+        if not (
+            MIN_USER_SAMPLING_WINDOW_S <= window_s <= MAX_USER_SAMPLING_WINDOW_S
+        ):
+            raise ValueError(
+                f"window_s must lie in [{MIN_USER_SAMPLING_WINDOW_S}, "
+                f"{MAX_USER_SAMPLING_WINDOW_S}] seconds, got {window_s!r}"
+            )
+        self.window_s = window_s
+        self.alpha = _require_nonnegative("alpha", alpha)
+
+    def events(self, rng: np.random.Generator) -> Iterator[TrafficEvent]:
+        pick = self._node_picker(rng, self.alpha)
+        window_us = self.window_s * _US_PER_SECOND
+        t = 0.0
+        while True:
+            users = self.users.sample(rng)
+            yield (t, USERS_MARKER, users)
+            end = t + window_us
+            if users > 0.0:
+                # Per-user requests/minute, redrawn per window; the
+                # window's aggregate rate is users × rpm_draw / minute.
+                rpm_draw = self.rpm.sample(rng)
+                rate = users * rpm_draw / _US_PER_MINUTE  # per µs
+                if rate > 0.0:
+                    scale = 1.0 / rate
+                    s = t + rng.exponential(scale)
+                    while s < end:
+                        yield (s, pick(), users)
+                        s += rng.exponential(scale)
+            t = end

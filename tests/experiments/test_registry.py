@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import get, list_experiments
-from repro.experiments.registry import REGISTRY, register
+from repro.experiments.registry import REGISTRY, Experiment, register
 
 
 def test_all_paper_artifacts_registered():
@@ -69,3 +69,51 @@ def test_cli_runs_fast_experiment(capsys):
     out = capsys.readouterr().out
     assert "analytic NOW" in out or "Figure 9" in out
     assert "completed in" in out
+
+
+def test_accepts_inspects_runner_signature():
+    def runner(quick=True, workload=None):
+        return None
+
+    exp = Experiment(id="probe", title="t", paper_ref="r", runner=runner)
+    assert exp.accepts("workload")
+    assert exp.accepts("quick")
+    assert not exp.accepts("nodes")
+
+
+def test_accepts_var_keyword_accepts_anything():
+    def runner(quick=True, **kwargs):
+        return None
+
+    exp = Experiment(id="probe", title="t", paper_ref="r", runner=runner)
+    assert exp.accepts("anything_at_all")
+
+
+def test_run_rejects_unknown_kwargs_with_id_and_signature():
+    def my_runner(quick=True, depth=3):
+        raise AssertionError("runner must not be reached")
+
+    exp = Experiment(id="probe", title="t", paper_ref="r", runner=my_runner)
+    with pytest.raises(TypeError) as err:
+        exp.run(quick=True, dpeth=5)
+    message = str(err.value)
+    assert "'probe'" in message
+    assert "dpeth" in message
+    assert "my_runner(quick=True, depth=3)" in message
+
+
+def test_run_forwards_known_kwargs():
+    seen = {}
+
+    def runner(quick=True, depth=3):
+        seen["depth"] = depth
+        return None
+
+    exp = Experiment(id="probe", title="t", paper_ref="r", runner=runner)
+    exp.run(quick=True, depth=7)
+    assert seen == {"depth": 7}
+
+
+def test_open_workload_experiment_registered():
+    e = get("open_workload")
+    assert e.accepts("workload")

@@ -137,3 +137,34 @@ def test_mean_ci_needs_two_finite_reps(cfg):
     res = replicate(cfg.with_(batch_size=1000), repetitions=2)
     with pytest.raises(ValueError, match="finite"):
         res.mean_ci("monitoring_latency_forwarding")
+
+
+def test_mean_results_fully_failed_cell_degrades_to_nan():
+    """strict=False can hand a sweep a cell with zero successful reps:
+    numeric means must degrade to NaN, not crash."""
+    from repro.experiments.engine import CellError
+
+    err = CellError(config_summary="now n=2 b=1 rep=0", error="boom",
+                    traceback="...")
+    res = MeanResults([], [err])
+    assert res.pd_cpu_time_per_node != res.pd_cpu_time_per_node  # NaN
+    assert res.open_offered_rate != res.open_offered_rate
+    assert res.errors == [err]
+
+
+def test_mean_results_fully_failed_cell_clear_attribute_error():
+    res = MeanResults([])
+    with pytest.raises(AttributeError, match="all replications failed"):
+        res.config_summary
+    # Protocol probes still raise plain AttributeError, not IndexError.
+    with pytest.raises(AttributeError):
+        res.__deepcopy__
+
+
+def test_mean_results_averages_open_workload_metrics(cfg):
+    from repro.workload.generators import TrafficSpec
+
+    spec = TrafficSpec.parse("open:avg_users=30,rpm=120,window_s=0.1")
+    res = replicate(cfg.with_(traffic=spec), repetitions=2)
+    assert res.open_offered_rate > 0.0
+    assert res.open_active_users == res.open_active_users  # not NaN

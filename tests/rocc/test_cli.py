@@ -59,6 +59,41 @@ class TestRoccCli:
         assert rc == 0
         assert "n=32" in capsys.readouterr().out
 
+    def test_workload_run(self, capsys):
+        rc = main(
+            ["--nodes", "2", "--duration-s", "0.5", "--seed", "3",
+             "--workload", "stationary:rate=100"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "open workload :" in out
+        assert "wl=stationary:rate=100" in out
+
+    def test_workload_open_model_reports_users(self, capsys):
+        rc = main(
+            ["--nodes", "2", "--duration-s", "0.5", "--seed", "3",
+             "--workload", "open:avg_users=40,rpm=120,window_s=0.1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "users" in out
+
+    def test_workload_unknown_name_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--workload", "bogus"])
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_workload_bad_parameters_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--workload", "open:rpm=-5"])
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_lp_workers_rejects_non_positive(self, capsys):
+        for bad in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                main(["--lp-workers", bad, "--duration-s", "0.1"])
+            assert "--lp-workers must be >= 1" in capsys.readouterr().err
+
 
 class TestWorkloadCli:
     def test_generate_and_characterize(self, tmp_path, capsys):

@@ -175,3 +175,11 @@ def test_lp_workers_from_env(monkeypatch):
     monkeypatch.setenv("REPRO_DES_PARALLEL", "bogus")
     with pytest.raises(ValueError):
         lp_workers_from_env()
+    # 0 and negative counts are garbage, not "sequential": reject them
+    # the same way the CLIs reject --lp-workers 0.
+    monkeypatch.setenv("REPRO_DES_PARALLEL", "0")
+    with pytest.raises(ValueError, match=">= 1"):
+        lp_workers_from_env()
+    monkeypatch.setenv("REPRO_DES_PARALLEL", "-3")
+    with pytest.raises(ValueError, match=">= 1"):
+        lp_workers_from_env()

@@ -1,0 +1,142 @@
+"""Open-workload traffic wired into the full ROCC simulation."""
+
+import math
+
+import pytest
+
+from repro.rocc import SimulationConfig, simulate
+from repro.rocc.aggregate import simulate_aggregated
+from repro.rocc.config import Architecture, NetworkMode
+from repro.rocc.partition import parallel_ineligibility
+from repro.rocc.system import RawAggregates
+from repro.verify import diff_results
+from repro.workload.generators import TrafficSpec
+
+
+def _cfg(**kw):
+    base = dict(
+        nodes=2, duration=600_000.0, sampling_period=20_000.0, seed=7,
+        network_mode=NetworkMode.CONTENTION_FREE,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def open_results():
+    return simulate(_cfg(
+        traffic=TrafficSpec.parse("open:avg_users=50,rpm=120,window_s=0.1")
+    ))
+
+
+def test_config_coerces_spec_from_string():
+    cfg = _cfg(traffic="stationary:rate=50")
+    assert isinstance(cfg.traffic, TrafficSpec)
+    assert cfg.traffic.name == "stationary"
+
+
+def test_config_rejects_bad_spec_eagerly():
+    with pytest.raises(ValueError, match="unknown workload"):
+        _cfg(traffic="nosuch")
+    with pytest.raises(ValueError, match="bad parameters"):
+        _cfg(traffic="stationary:frequency=9")
+
+
+def test_arrivals_are_served_and_counted(open_results):
+    r = open_results
+    assert r.open_arrivals > 0
+    assert 0 < r.open_completed <= r.open_arrivals
+    assert r.open_offered_rate > 0.0
+    assert r.open_latency_mean > 0.0
+    assert "wl=open" in r.config_summary
+
+
+def test_active_users_tracks_population(open_results):
+    # 50 expected users resampled every 0.1 s over a 0.6 s run: the
+    # time-average stays near the configured mean.
+    assert open_results.open_active_users == pytest.approx(50.0, rel=0.35)
+
+
+def test_no_traffic_fields_default(open_results):
+    r = simulate(_cfg())
+    assert r.open_arrivals == 0 and r.open_completed == 0
+    assert r.open_offered_rate == 0.0
+    assert math.isnan(r.open_active_users)
+    assert math.isnan(r.open_latency_mean)
+    assert "wl=" not in r.config_summary
+
+
+def test_stationary_workload_has_nan_users():
+    r = simulate(_cfg(traffic="stationary:rate=100"))
+    assert r.open_arrivals > 0
+    assert math.isnan(r.open_active_users)
+
+
+def test_zero_rate_traffic_is_a_noop():
+    baseline = simulate(_cfg())
+    zero = simulate(_cfg(traffic="stationary:rate=0"))
+    assert diff_results(baseline, zero, ignore=("config_summary",)) == []
+
+
+def test_seeded_open_cell_replays_bit_identical(open_results):
+    again = simulate(_cfg(
+        traffic=TrafficSpec.parse("open:avg_users=50,rpm=120,window_s=0.1")
+    ))
+    assert diff_results(open_results, again) == []
+
+
+def test_traffic_perturbs_the_instrumented_system(open_results):
+    # Open load shares the CPUs with the IS: the run must differ from
+    # the traffic-free one beyond the open_* fields themselves.
+    baseline = simulate(_cfg())
+    assert baseline.app_cpu_time_per_node != open_results.app_cpu_time_per_node
+
+
+def test_warmup_filters_pre_epoch_requests():
+    spec = TrafficSpec.parse("open:avg_users=50,rpm=120,window_s=0.1")
+    full = simulate(_cfg(traffic=spec))
+    warm = simulate(_cfg(traffic=spec, warmup=300_000.0))
+    assert 0 < warm.open_arrivals < full.open_arrivals
+    assert warm.open_completed <= warm.open_arrivals
+    assert not math.isnan(warm.open_active_users)
+
+
+def test_smp_single_station_serves_traffic():
+    r = simulate(_cfg(
+        architecture=Architecture.SMP, nodes=2, app_processes_per_node=2,
+        network_mode=NetworkMode.SHARED,
+        traffic="stationary:rate=100",
+    ))
+    assert r.open_completed > 0
+
+
+def test_replay_traffic_arrival_count_is_exact():
+    times = tuple(float(t) for t in range(50_000, 550_000, 50_000))
+    r = simulate(_cfg(traffic=TrafficSpec.of("replay", times=times)))
+    # Every trace record inside the horizon arrives exactly once.
+    assert r.open_arrivals == sum(1 for t in times if t <= 600_000.0)
+
+
+def test_aggregated_mode_rejects_traffic():
+    with pytest.raises(ValueError, match="phantom nodes"):
+        simulate_aggregated(_cfg(traffic="stationary:rate=10"))
+
+
+def test_traffic_is_parallel_ineligible():
+    cfg = _cfg(nodes=4, traffic="stationary:rate=10")
+    reason = parallel_ineligibility(cfg)
+    assert reason is not None and "traffic" in reason
+    # lp_workers on an ineligible config falls back, not crashes.
+    r = simulate(cfg, lp_workers=2)
+    assert r.open_arrivals > 0
+
+
+def test_raw_aggregates_merge_adopts_users_mean():
+    a = RawAggregates()
+    b = RawAggregates(open_users_mean=42.0)
+    a.merge(b)
+    assert a.open_users_mean == 42.0
+    # NaN on the right never clobbers a real level on the left.
+    c = RawAggregates(open_users_mean=7.0)
+    c.merge(RawAggregates())
+    assert c.open_users_mean == 7.0

@@ -1,0 +1,431 @@
+"""The open-workload traffic generators (lazy iterator streams)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.generators import (
+    MAX_USER_SAMPLING_WINDOW_S,
+    MIN_USER_SAMPLING_WINDOW_S,
+    TRAFFIC_REGISTRY,
+    USERS_MARKER,
+    BurstyWorkload,
+    FlashCrowdWorkload,
+    OpenWorkload,
+    RVConfig,
+    StationaryWorkload,
+    TraceReplayWorkload,
+    TrafficSpec,
+    available_traffic,
+    register_traffic,
+    traffic_generator,
+)
+
+
+def take(gen, n):
+    return list(itertools.islice(iter(gen), n))
+
+
+def seq(seed=0):
+    return np.random.SeedSequence(seed)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def test_all_generator_families_registered():
+    assert set(available_traffic()) >= {
+        "stationary", "replay", "bursty", "flashcrowd", "open",
+    }
+
+
+def test_unknown_generator_lists_available():
+    with pytest.raises(ValueError, match="available.*stationary"):
+        traffic_generator("bogus")
+
+
+def test_double_registration_rejected():
+    assert "stationary" in TRAFFIC_REGISTRY
+    with pytest.raises(ValueError, match="already registered"):
+        register_traffic("stationary")(StationaryWorkload)
+
+
+# ---------------------------------------------------------------------------
+# TrafficSpec
+# ---------------------------------------------------------------------------
+
+
+class TestTrafficSpec:
+    def test_parse_name_only(self):
+        spec = TrafficSpec.parse("stationary")
+        assert spec.name == "stationary"
+        assert spec.params == ()
+        assert spec.label() == "stationary"
+
+    def test_parse_with_params_round_trips(self):
+        spec = TrafficSpec.parse("open:rpm=30,avg_users=200,window_s=0.5")
+        assert spec.kwargs() == {"rpm": 30, "avg_users": 200, "window_s": 0.5}
+        assert TrafficSpec.parse(spec.label()) == spec
+
+    def test_params_sorted_for_equality(self):
+        a = TrafficSpec.of("stationary", rate=50, alpha=1.0)
+        b = TrafficSpec.of("stationary", alpha=1.0, rate=50)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.label() == b.label()
+
+    def test_parse_value_types(self):
+        spec = TrafficSpec.parse("replay:path=trace.txt,loop=true,scale=2")
+        assert spec.kwargs() == {"path": "trace.txt", "loop": True, "scale": 2}
+
+    def test_parse_malformed_parameter(self):
+        with pytest.raises(ValueError, match="expected k=v"):
+            TrafficSpec.parse("stationary:rate")
+        with pytest.raises(ValueError, match="empty workload spec"):
+            TrafficSpec.parse("   ")
+
+    def test_coerce(self):
+        spec = TrafficSpec.of("stationary", rate=10)
+        assert TrafficSpec.coerce(spec) is spec
+        assert TrafficSpec.coerce("stationary:rate=10") == spec
+        assert TrafficSpec.coerce({"name": "stationary", "rate": 10}) == spec
+        with pytest.raises(ValueError, match="'name'"):
+            TrafficSpec.coerce({"rate": 10})
+        with pytest.raises(TypeError):
+            TrafficSpec.coerce(42)
+
+    def test_validate_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            TrafficSpec.parse("nosuch:rate=1").validate()
+
+    def test_validate_bad_parameters_names_workload(self):
+        with pytest.raises(ValueError, match="bad parameters for workload"):
+            TrafficSpec.parse("stationary:frequency=5").validate()
+
+    def test_validate_bad_values_propagate(self):
+        with pytest.raises(ValueError, match="rate"):
+            TrafficSpec.parse("stationary:rate=-3").validate()
+
+    def test_build_returns_generator(self):
+        gen = TrafficSpec.parse("stationary:rate=5").build(4, seq())
+        assert isinstance(gen, StationaryWorkload)
+        assert gen.nodes == 4
+
+
+# ---------------------------------------------------------------------------
+# Determinism (the ISSUE's Hypothesis property)
+# ---------------------------------------------------------------------------
+
+_SPEC_STRATEGY = st.one_of(
+    st.builds(
+        lambda r, a: TrafficSpec.of("stationary", rate=r, alpha=a),
+        st.floats(1.0, 500.0), st.floats(0.0, 2.0),
+    ),
+    st.builds(
+        lambda r, p, d: TrafficSpec.of("bursty", rate=r, period_s=p, depth=d),
+        st.floats(1.0, 500.0), st.floats(0.05, 2.0), st.floats(0.0, 0.95),
+    ),
+    st.builds(
+        lambda r, m: TrafficSpec.of(
+            "flashcrowd", rate=r, multiplier=m, first_at_s=0.1, duration_s=0.2
+        ),
+        st.floats(1.0, 200.0), st.floats(1.5, 20.0),
+    ),
+    st.builds(
+        lambda u, rpm, w: TrafficSpec.of(
+            "open", avg_users=u, rpm=rpm, window_s=w
+        ),
+        st.floats(1.0, 300.0), st.floats(1.0, 600.0), st.floats(0.05, 2.0),
+    ),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=_SPEC_STRATEGY, seed=st.integers(0, 2**32 - 1),
+       nodes=st.integers(1, 16))
+def test_same_seed_same_arrivals_across_iterations(spec, seed, nodes):
+    """Iterating the same generator twice replays the identical stream."""
+    gen = spec.build(nodes, np.random.SeedSequence(seed))
+    first = take(gen, 64)
+    second = take(gen, 64)
+    assert first == second
+    # ... and a rebuilt generator from the same (spec, seed) agrees too.
+    rebuilt = spec.build(nodes, np.random.SeedSequence(seed))
+    assert take(rebuilt, 64) == first
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=_SPEC_STRATEGY, seed=st.integers(0, 2**32 - 1),
+       nodes=st.integers(1, 16))
+def test_event_protocol_invariants(spec, seed, nodes):
+    """Times non-decreasing and >= 0; nodes in range or USERS_MARKER."""
+    gen = spec.build(nodes, np.random.SeedSequence(seed))
+    last = 0.0
+    for t, node, users in take(gen, 64):
+        assert t >= 0.0 and t >= last
+        last = t
+        if node == USERS_MARKER:
+            assert users >= 0.0
+        else:
+            assert 0 <= node < nodes
+            assert users != users or users >= 0.0  # NaN or a level
+
+
+def test_different_seeds_differ():
+    spec = TrafficSpec.of("stationary", rate=100)
+    a = take(spec.build(2, seq(1)), 32)
+    b = take(spec.build(2, seq(2)), 32)
+    assert a != b
+
+
+# ---------------------------------------------------------------------------
+# Stationary
+# ---------------------------------------------------------------------------
+
+
+def test_stationary_zero_rate_is_empty():
+    gen = StationaryWorkload(nodes=4, seed_seq=seq(), rate=0.0)
+    assert take(gen, 10) == []
+
+
+def test_stationary_rate_matches_mean_interarrival():
+    gen = StationaryWorkload(nodes=1, seed_seq=seq(7), rate=1000.0)
+    events = take(gen, 4000)
+    horizon_s = events[-1][0] / 1e6
+    observed = len(events) / horizon_s
+    assert observed == pytest.approx(1000.0, rel=0.1)
+
+
+def test_stationary_zipf_skews_popularity():
+    gen = StationaryWorkload(nodes=8, seed_seq=seq(3), rate=500.0, alpha=1.5)
+    counts = [0] * 8
+    for _, node, _ in take(gen, 4000):
+        counts[node] += 1
+    assert counts[0] > counts[3] > counts[7]
+
+
+def test_stationary_rejects_negative_rate():
+    with pytest.raises(ValueError, match="rate"):
+        StationaryWorkload(nodes=1, seed_seq=seq(), rate=-1.0)
+    with pytest.raises(ValueError, match="nodes"):
+        StationaryWorkload(nodes=0, seed_seq=seq())
+
+
+# ---------------------------------------------------------------------------
+# Trace replay
+# ---------------------------------------------------------------------------
+
+
+class TestTraceReplay:
+    def test_times_mode_replays_exactly(self):
+        gen = TraceReplayWorkload(
+            nodes=4, seed_seq=seq(), times=(10.0, 20.0, 35.0)
+        )
+        events = take(gen, 10)
+        assert [t for t, _, _ in events] == [10.0, 20.0, 35.0]
+        assert all(0 <= node < 4 for _, node, _ in events)
+
+    def test_scale_dilates_time(self):
+        gen = TraceReplayWorkload(
+            nodes=1, seed_seq=seq(), times=(10.0, 20.0), scale=2.0
+        )
+        assert [t for t, _, _ in take(gen, 5)] == [20.0, 40.0]
+
+    def test_loop_shifts_by_trace_end(self):
+        gen = TraceReplayWorkload(
+            nodes=1, seed_seq=seq(), times=(10.0, 30.0), loop=True
+        )
+        assert [t for t, _, _ in take(gen, 6)] == [
+            10.0, 30.0, 40.0, 60.0, 70.0, 90.0,
+        ]
+
+    def test_file_mode_streams_lazily(self, tmp_path):
+        trace = tmp_path / "trace.txt"
+        trace.write_text(
+            "# recorded on a 16-node cluster\n"
+            "100 0\n"
+            "250 13\n"
+            "\n"
+            "400  # node column optional\n"
+        )
+        gen = TraceReplayWorkload(nodes=4, seed_seq=seq(), path=str(trace))
+        events = take(gen, 10)
+        assert [t for t, _, _ in events] == [100.0, 250.0, 400.0]
+        assert events[0][1] == 0
+        assert events[1][1] == 13 % 4  # folded modulo node count
+        assert 0 <= events[2][1] < 4
+
+    def test_file_mode_rejects_malformed_line(self, tmp_path):
+        trace = tmp_path / "bad.txt"
+        trace.write_text("100\nnot-a-time\n")
+        gen = TraceReplayWorkload(nodes=1, seed_seq=seq(), path=str(trace))
+        with pytest.raises(ValueError, match="malformed trace line"):
+            take(gen, 5)
+
+    def test_file_mode_rejects_non_monotone(self, tmp_path):
+        trace = tmp_path / "bad.txt"
+        trace.write_text("100\n50\n")
+        gen = TraceReplayWorkload(nodes=1, seed_seq=seq(), path=str(trace))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            take(gen, 5)
+
+    def test_times_validated_eagerly(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceReplayWorkload(nodes=1, seed_seq=seq(), times=(5.0, 1.0))
+        with pytest.raises(ValueError, match="finite"):
+            TraceReplayWorkload(nodes=1, seed_seq=seq(),
+                                times=(float("inf"),))
+
+    def test_exactly_one_source_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            TraceReplayWorkload(nodes=1, seed_seq=seq())
+        with pytest.raises(ValueError, match="exactly one"):
+            TraceReplayWorkload(nodes=1, seed_seq=seq(), path="x",
+                                times=(1.0,))
+
+
+# ---------------------------------------------------------------------------
+# Bursty / flash crowd
+# ---------------------------------------------------------------------------
+
+
+def test_bursty_depth_validated():
+    with pytest.raises(ValueError, match="depth"):
+        BurstyWorkload(nodes=1, seed_seq=seq(), depth=1.0)
+    with pytest.raises(ValueError, match="depth"):
+        BurstyWorkload(nodes=1, seed_seq=seq(), depth=-0.1)
+
+
+def test_bursty_zero_depth_matches_stationary_rate():
+    gen = BurstyWorkload(nodes=1, seed_seq=seq(11), rate=1000.0, depth=0.0)
+    events = take(gen, 4000)
+    observed = len(events) / (events[-1][0] / 1e6)
+    assert observed == pytest.approx(1000.0, rel=0.1)
+
+
+def test_bursty_modulation_moves_arrivals_into_peaks():
+    # period 1 s, full-depth: peak density at t=0.25 s, trough at 0.75 s.
+    gen = BurstyWorkload(nodes=1, seed_seq=seq(13), rate=2000.0,
+                         period_s=1.0, depth=0.9)
+    peak = trough = 0
+    for t, _, _ in take(gen, 6000):
+        phase = (t / 1e6) % 1.0
+        if 0.0 <= phase < 0.5:
+            peak += 1
+        else:
+            trough += 1
+    assert peak > 1.5 * trough
+
+
+def test_flashcrowd_surge_is_denser():
+    gen = FlashCrowdWorkload(nodes=1, seed_seq=seq(17), rate=200.0,
+                             multiplier=10.0, first_at_s=1.0,
+                             duration_s=0.5, every_s=0.0)
+    inside = outside = 0
+    for t, _, _ in take(gen, 3000):
+        if t >= 2.0e6:
+            break
+        if 1.0e6 <= t < 1.5e6:
+            inside += 1
+        else:
+            outside += 1
+    # 0.5 s of 2000 req/s vs 1.5 s of 200 req/s baseline.
+    assert inside > 2 * outside
+
+
+def test_flashcrowd_validation():
+    with pytest.raises(ValueError, match="multiplier"):
+        FlashCrowdWorkload(nodes=1, seed_seq=seq(), multiplier=1.0)
+    with pytest.raises(ValueError, match="every_s"):
+        FlashCrowdWorkload(nodes=1, seed_seq=seq(), duration_s=2.0,
+                           every_s=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Open (AsyncFlow-style) model
+# ---------------------------------------------------------------------------
+
+
+class TestRVConfig:
+    def test_mean_must_be_positive(self):
+        with pytest.raises(ValueError, match="mean must be positive"):
+            RVConfig(mean=0.0)
+        with pytest.raises(ValueError, match="mean must be positive"):
+            RVConfig(mean=-5.0)
+
+    def test_distribution_whitelist(self):
+        with pytest.raises(ValueError, match="distribution"):
+            RVConfig(mean=1.0, distribution="lognormal")
+
+    def test_normal_variance_defaults_to_mean(self):
+        rv = RVConfig(mean=40.0, distribution="normal")
+        assert rv.variance == 40.0
+        assert RVConfig(mean=40.0, distribution="normal", variance=4.0).variance == 4.0
+
+    def test_poisson_variance_left_alone(self):
+        assert RVConfig(mean=40.0).variance is None
+
+    def test_samples_are_non_negative(self):
+        rng = np.random.Generator(np.random.PCG64(0))
+        rv = RVConfig(mean=1.0, distribution="normal", variance=100.0)
+        assert all(rv.sample(rng) >= 0.0 for _ in range(200))
+
+
+class TestOpenWorkload:
+    def test_emits_users_markers_at_window_starts(self):
+        gen = OpenWorkload(nodes=2, seed_seq=seq(19), avg_users=50.0,
+                           rpm=120.0, window_s=0.5)
+        events = take(gen, 200)
+        markers = [(t, u) for t, node, u in events if node == USERS_MARKER]
+        assert [t for t, _ in markers[:3]] == [0.0, 0.5e6, 1.0e6]
+        assert all(u == u and u >= 0.0 for _, u in markers)
+
+    def test_requests_carry_window_user_level(self):
+        gen = OpenWorkload(nodes=2, seed_seq=seq(23), avg_users=80.0,
+                           rpm=300.0, window_s=0.5)
+        level = None
+        for t, node, users in take(gen, 300):
+            if node == USERS_MARKER:
+                level = users
+            else:
+                assert users == level
+
+    def test_offered_rate_tracks_users_times_rpm(self):
+        gen = OpenWorkload(nodes=1, seed_seq=seq(29), avg_users=100.0,
+                           rpm=600.0, window_s=1.0)
+        arrivals = [e for e in take(gen, 6000) if e[1] != USERS_MARKER]
+        horizon_s = arrivals[-1][0] / 1e6
+        observed = len(arrivals) / horizon_s
+        assert observed == pytest.approx(100.0 * 600.0 / 60.0, rel=0.15)
+
+    def test_window_bounds_enforced(self):
+        with pytest.raises(ValueError, match="window_s"):
+            OpenWorkload(nodes=1, seed_seq=seq(),
+                         window_s=MIN_USER_SAMPLING_WINDOW_S / 2)
+        with pytest.raises(ValueError, match="window_s"):
+            OpenWorkload(nodes=1, seed_seq=seq(),
+                         window_s=MAX_USER_SAMPLING_WINDOW_S * 2)
+
+    def test_rpm_must_be_positive(self):
+        with pytest.raises(ValueError, match="mean must be positive"):
+            OpenWorkload(nodes=1, seed_seq=seq(), rpm=-5.0)
+
+    def test_normal_users_distribution(self):
+        gen = OpenWorkload(nodes=1, seed_seq=seq(31), avg_users=30.0,
+                           users_dist="normal", users_var=4.0, rpm=60.0,
+                           window_s=0.25)
+        levels = [u for _, node, u in take(gen, 400)
+                  if node == USERS_MARKER]
+        assert len(levels) > 5
+        assert sum(levels) / len(levels) == pytest.approx(30.0, abs=5.0)
+
+
+def test_non_marker_events_have_nan_users_without_user_model():
+    gen = StationaryWorkload(nodes=2, seed_seq=seq(), rate=50.0)
+    assert all(math.isnan(u) for _, _, u in take(gen, 20))
