@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Planner smoke: a planned NOW sweep must save real work, honestly.
+
+End-to-end proof of the hybrid analytic–simulation planner
+(`repro.planner`), suitable for CI:
+
+1. **Planned NOW sweep** — the quick 2^4 NOW factorial design runs
+   under the default planner.  At least 30 % of the cells must be
+   pruned to analytic surrogates, the calibration gate must pass, and
+   the total simulated cell-replications must stay under the fixed-r
+   baseline.
+2. **Honesty labelling** — every pruned cell's reported value must be
+   tagged as a surrogate; every simulated cell's tag must carry its
+   replication count.
+3. **Bit-identity** — the ``differential.planner`` check re-runs a
+   small design planned and unplanned and diffs every overlapping
+   replication field by field; any difference fails.
+
+Exit status 0 = all phases passed, 1 = any check failed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/planner_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import now_exp
+from repro.experiments.engine import CellCache, ExperimentEngine
+from repro.planner import run_planned
+from repro.verify.cli import _differential_config
+from repro.verify.differential import check_planner
+
+MIN_PRUNED_FRACTION = 0.30
+
+_failures = []
+
+
+def check(ok: bool, what: str) -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {what}")
+    if not ok:
+        _failures.append(what)
+
+
+def main() -> int:
+    print("== phase 1: planned quick NOW sweep ==")
+    t0 = time.time()
+    spec = now_exp.design_spec(quick=True)
+    with ExperimentEngine(workers=1, cache=CellCache(enabled=False)) as e:
+        plan = run_planned(
+            spec.design, spec.make, repetitions=spec.repetitions, engine=e
+        )
+    print(f"  {plan.summary()} ({time.time() - t0:.1f}s)")
+    n_cells = spec.design.n_runs
+    check(
+        plan.cells_pruned >= MIN_PRUNED_FRACTION * n_cells,
+        f"pruned {plan.cells_pruned}/{n_cells} cells "
+        f"(need >= {MIN_PRUNED_FRACTION:.0%})",
+    )
+    check(not plan.calibration_failed, "calibration gate passed")
+    check(
+        plan.replications_used < plan.baseline_replications,
+        f"simulated {plan.replications_used}/"
+        f"{plan.baseline_replications} baseline cell-replications",
+    )
+
+    print("== phase 2: honesty labelling ==")
+    surrogate_tags = [
+        c.tag for c in plan.cells if c.source == "surrogate"
+    ]
+    simulated_tags = [
+        c.tag for c in plan.cells if c.source == "simulated"
+    ]
+    check(
+        all("surrogate" in t for t in surrogate_tags),
+        "every pruned cell tagged as surrogate",
+    )
+    check(
+        all("reps" in t for t in simulated_tags),
+        "every simulated cell tagged with its replication count",
+    )
+
+    print("== phase 3: differential.planner bit-identity ==")
+    t0 = time.time()
+    violations = check_planner(_differential_config(quick=True, seed=0))
+    for v in violations:
+        print(f"  violation: {v}")
+    check(
+        not violations,
+        f"planned == unplanned on every overlapping replication "
+        f"({time.time() - t0:.1f}s)",
+    )
+
+    if _failures:
+        print(f"\n{len(_failures)} check(s) FAILED:")
+        for f in _failures:
+            print(f"  - {f}")
+        return 1
+    print("\nall planner smoke checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "'open:avg_users=100,rpm=60')",
     )
     parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="run planned experiments (planned_now, ...) under the "
+        "hybrid analytic-simulation planner; also enables forwarding "
+        "--ci-target/--budget to them",
+    )
+    parser.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="adaptive-replication precision target: relative 90%% CI "
+        "half-width per cell (planner default: 0.35)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on total simulated cell-replications for a planned "
+        "design (default: the fixed-r baseline count)",
+    )
+    parser.add_argument(
         "--cell-timeout",
         type=float,
         default=None,
@@ -158,6 +181,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--lp-workers must be an integer or 'auto'")
         if lp_workers < 1:
             parser.error(f"--lp-workers must be >= 1, got {lp_workers}")
+    if args.ci_target is not None and args.ci_target <= 0:
+        parser.error("--ci-target must be positive")
+    if args.budget is not None and args.budget < 1:
+        parser.error("--budget must be >= 1")
+    plan = None
+    if args.plan or args.ci_target is not None or args.budget is not None:
+        from ..planner import PlannerConfig, ReplicationPolicy
+
+        replication = ReplicationPolicy()
+        if args.ci_target is not None:
+            replication = ReplicationPolicy(ci_target=args.ci_target)
+        plan = PlannerConfig(replication=replication, budget=args.budget)
+        # --plan routes the classic factorial ids to their planned
+        # variants; the planned_* ids also take the flags directly.
+        planned_alias = {
+            "table4": "planned_now",
+            "table5": "planned_smp",
+            "table6": "planned_mpp",
+            "figure30": "planned_validation",
+        }
+        if args.plan:
+            ids = [planned_alias.get(i, i) for i in ids]
     workload = None
     if args.workload is not None:
         from ..workload.generators import TrafficSpec
@@ -197,6 +242,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             extra = {}
             if workload is not None and experiment.accepts("workload"):
                 extra["workload"] = workload
+            if plan is not None and experiment.accepts("plan"):
+                extra["plan"] = plan
             t0 = time.time()
             if tracer is not None:
                 with tracer.span(id_, cat="experiment"):

@@ -372,6 +372,11 @@ class EngineStats:
     cache_corrupt: int = 0
     #: Cells served from a resumed run journal instead of executing.
     cells_resumed: int = 0
+    #: Design cells the experiment planner served as analytic surrogates
+    #: instead of simulating (see :mod:`repro.planner`).
+    cells_pruned: int = 0
+    #: Cell-replications the planner avoided vs the fixed-r baseline.
+    replications_saved: int = 0
     #: Wall-clock seconds spent inside ``run_cells`` batches.
     wall_time: float = 0.0
     #: Sum of per-cell wall seconds as measured inside the workers.
@@ -416,6 +421,10 @@ class EngineStats:
             pool_resets=self.pool_resets - earlier.pool_resets,
             cache_corrupt=self.cache_corrupt - earlier.cache_corrupt,
             cells_resumed=self.cells_resumed - earlier.cells_resumed,
+            cells_pruned=self.cells_pruned - earlier.cells_pruned,
+            replications_saved=(
+                self.replications_saved - earlier.replications_saved
+            ),
             wall_time=self.wall_time - earlier.wall_time,
             cell_wall_time=self.cell_wall_time - earlier.cell_wall_time,
             cell_cpu_time=self.cell_cpu_time - earlier.cell_cpu_time,
@@ -432,6 +441,8 @@ class EngineStats:
         resilience_bits = [
             f"{count} {label}"
             for count, label in (
+                (self.cells_pruned, "pruned"),
+                (self.replications_saved, "replications saved"),
                 (self.cells_resumed, "resumed"),
                 (self.retries, "retries"),
                 (self.cell_timeouts, "timeouts"),

@@ -19,8 +19,11 @@ from ..rocc.config import Architecture, ForwardingTopology, SimulationConfig
 from .registry import register
 from .reporting import ArtifactGroup, SeriesSet, Table
 from .runners import replicate, run_design
+from .specs import DesignSpec
 
-__all__ = ["table6", "figure25", "figure26", "figure27", "figure28"]
+__all__ = [
+    "design_spec", "table6", "figure25", "figure26", "figure27", "figure28",
+]
 
 _BF_BATCH = 32
 
@@ -49,11 +52,9 @@ def _mpp_design(quick: bool = False) -> FactorialDesign:
     )
 
 
-@lru_cache(maxsize=4)
-def _mpp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
-    design = _mpp_design(quick)
+def design_spec(quick: bool = True) -> DesignSpec:
+    """The MPP 2^4·r design as a :class:`DesignSpec` (planner seam)."""
     duration = 2_500_000.0 if quick else 10_000_000.0
-    reps = 2 if quick else 5
 
     def make(run) -> SimulationConfig:
         return _mpp_base(
@@ -64,6 +65,19 @@ def _mpp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
             forwarding=run["forwarding"],
             seed=60,
         )
+
+    return DesignSpec(
+        name="mpp",
+        design=_mpp_design(quick),
+        make=make,
+        repetitions=2 if quick else 5,
+    )
+
+
+@lru_cache(maxsize=4)
+def _mpp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
+    spec = design_spec(quick)
+    design, make, reps = spec.design, spec.make, spec.repetitions
 
     cells = run_design(design, make, repetitions=reps)
     cpu_rows = [

@@ -17,8 +17,11 @@ from ..rocc.config import NetworkMode, SimulationConfig
 from .registry import register
 from .reporting import ArtifactGroup, SeriesSet, Table
 from .runners import MeanResults, metric_series, run_design, sweep
+from .specs import DesignSpec
 
-__all__ = ["table4", "figure16", "figure17", "figure18", "figure19"]
+__all__ = [
+    "design_spec", "table4", "figure16", "figure17", "figure18", "figure19",
+]
 
 _BF_BATCH = 32
 
@@ -37,12 +40,9 @@ def _now_design(quick: bool = False) -> FactorialDesign:
     )
 
 
-@lru_cache(maxsize=4)
-def _now_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
-    """Run the 2^4·r NOW design; returns (design, cpu_rows, latency_rows)."""
-    design = _now_design(quick)
+def design_spec(quick: bool = True) -> DesignSpec:
+    """The NOW 2^4·r design as a :class:`DesignSpec` (planner seam)."""
     duration = 2_000_000.0 if quick else 10_000_000.0
-    reps = 2 if quick else 5
 
     def make(run) -> SimulationConfig:
         cfg = SimulationConfig(
@@ -55,6 +55,20 @@ def _now_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
         return cfg.with_(
             workload=cfg.workload.with_network_demand(run["app_network_us"])
         )
+
+    return DesignSpec(
+        name="now",
+        design=_now_design(quick),
+        make=make,
+        repetitions=2 if quick else 5,
+    )
+
+
+@lru_cache(maxsize=4)
+def _now_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
+    """Run the 2^4·r NOW design; returns (design, cpu_rows, latency_rows)."""
+    spec = design_spec(quick)
+    design, make, reps = spec.design, spec.make, spec.repetitions
 
     cells = run_design(design, make, repetitions=reps)
     cpu_rows = [

@@ -136,6 +136,7 @@ def _ensure_loaded() -> None:
         mpp_exp,
         now_exp,
         open_workload_exp,
+        planned_exp,
         smp_exp,
         summary,
         validation,

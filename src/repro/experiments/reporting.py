@@ -185,6 +185,10 @@ def engine_stats_table(stats) -> Table:
     table.add_row("cells run", stats.cells_run)
     table.add_row("cache hits", stats.cache_hits)
     table.add_row("cell errors", stats.cell_errors)
+    if stats.cells_pruned or stats.replications_saved:
+        table.add_row("cells pruned (planner)", stats.cells_pruned)
+        table.add_row("replications saved (planner)",
+                      stats.replications_saved)
     table.add_row("wall time (s)", stats.wall_time)
     table.add_row("cell CPU time (s)", stats.cell_cpu_time)
     table.add_row("worker utilization", util)

@@ -132,9 +132,9 @@ class MeanResults:
 
         Failed replications (``errors``) never contribute — they hold no
         results — and non-finite per-rep values are excluded the same way
-        the plain means drop NaN.  Raises ``ValueError`` when fewer than
-        two finite observations remain (a CI from one point is
-        meaningless, not zero-width).
+        the plain means drop NaN.  Fewer than two finite observations
+        yield a *degenerate* interval (infinite half-width) rather than
+        an error — a CI from one point is uninformative, not zero-width.
         """
         from ..expdesign.confidence import mean_confidence_interval
 

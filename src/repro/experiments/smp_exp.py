@@ -17,8 +17,12 @@ from ..rocc.config import Architecture, SimulationConfig
 from .registry import register
 from .reporting import ArtifactGroup, SeriesSet, Table
 from .runners import metric_series, replicate, run_design, sweep
+from .specs import DesignSpec
 
-__all__ = ["table5", "figure20", "figure21", "figure22", "figure23", "figure24"]
+__all__ = [
+    "design_spec",
+    "table5", "figure20", "figure21", "figure22", "figure23", "figure24",
+]
 
 _BF_BATCH = 32
 
@@ -42,11 +46,9 @@ def _smp_design(quick: bool = False) -> FactorialDesign:
     )
 
 
-@lru_cache(maxsize=4)
-def _smp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
-    design = _smp_design(quick)
+def design_spec(quick: bool = True) -> DesignSpec:
+    """The SMP 2^4·r design as a :class:`DesignSpec` (planner seam)."""
     duration = 2_000_000.0 if quick else 10_000_000.0
-    reps = 2 if quick else 5
 
     def make(run) -> SimulationConfig:
         n = int(run["nodes"])
@@ -61,6 +63,19 @@ def _smp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
         return cfg.with_(
             workload=cfg.workload.with_network_demand(run["app_network_us"])
         )
+
+    return DesignSpec(
+        name="smp",
+        design=_smp_design(quick),
+        make=make,
+        repetitions=2 if quick else 5,
+    )
+
+
+@lru_cache(maxsize=4)
+def _smp_factorial(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
+    spec = design_spec(quick)
+    design, make, reps = spec.design, spec.make, spec.repetitions
 
     cells = run_design(design, make, repetitions=reps)
     cpu_rows = [

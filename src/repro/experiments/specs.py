@@ -1,0 +1,40 @@
+"""Design specifications shared by classic and planned runners.
+
+The four factorial experiments (NOW, SMP, MPP, testbed validation) each
+pair a :class:`~repro.expdesign.factorial.FactorialDesign` with a
+config factory and a repetition count.  :class:`DesignSpec` bundles the
+three so the classic fixed-r runners and the hybrid planner
+(:mod:`repro.planner`) run the *same* cells — same configs, same seeds,
+same replication numbering — and differ only in which cells they
+simulate and how many replications they spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from ..expdesign.factorial import FactorialDesign
+from ..rocc.config import SimulationConfig
+
+__all__ = ["DesignSpec"]
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """One factorial experiment: design, config factory, repetitions."""
+
+    name: str
+    design: FactorialDesign
+    make: Callable[[Dict[str, Any]], SimulationConfig]
+    repetitions: int
+    #: Metrics of record for the experiment's tables, in display order.
+    metrics: Tuple[str, ...] = (
+        "pd_cpu_time_per_node",
+        "monitoring_latency_forwarding",
+    )
+
+    @property
+    def baseline_replications(self) -> int:
+        """Cell-replications of the fixed-r (unplanned) run."""
+        return self.design.n_runs * self.repetitions

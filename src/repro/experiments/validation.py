@@ -29,8 +29,11 @@ from ..workload.parameters import WorkloadParameters
 from .registry import register
 from .reporting import ArtifactGroup, Table
 from .runners import replicate, run_design
+from .specs import DesignSpec
 
-__all__ = ["figure30", "figure31", "workload_for_benchmark"]
+__all__ = [
+    "design_spec", "figure30", "figure31", "workload_for_benchmark",
+]
 
 _BF_BATCH = 32
 _NODES = 4  # worker nodes in the testbed (Figure 29 shows several)
@@ -67,23 +70,36 @@ def _testbed_config(
     )
 
 
-@lru_cache(maxsize=4)
-def _policy_period_runs(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
-    """2^2·r design over (policy, sampling period) for pvmbt."""
-    design = FactorialDesign(
-        [
-            Factor("batch_size", _BF_BATCH, 1, "A"),  # A = policy (BF low, CF high)
-            Factor("sampling_period", 10_000.0, 30_000.0, "B"),
-        ]
-    )
+def design_spec(quick: bool = True) -> DesignSpec:
+    """The testbed 2^2·r (policy × period) design (planner seam)."""
     duration = 3_000_000.0 if quick else 100_000_000.0
-    reps = 3 if quick else 5
 
     def make(run):
         return _testbed_config(
             "pvmbt", run["sampling_period"], int(run["batch_size"]),
             duration, seed=70,
         )
+
+    return DesignSpec(
+        name="validation",
+        design=FactorialDesign(
+            [
+                # A = policy (BF low, CF high).
+                Factor("batch_size", _BF_BATCH, 1, "A"),
+                Factor("sampling_period", 10_000.0, 30_000.0, "B"),
+            ]
+        ),
+        make=make,
+        repetitions=3 if quick else 5,
+        metrics=("pd_cpu_time_per_node", "main_cpu_time"),
+    )
+
+
+@lru_cache(maxsize=4)
+def _policy_period_runs(quick: bool) -> Tuple[FactorialDesign, tuple, tuple]:
+    """2^2·r design over (policy, sampling period) for pvmbt."""
+    spec = design_spec(quick)
+    design, make, reps = spec.design, spec.make, spec.repetitions
 
     cells = run_design(design, make, repetitions=reps)
     pd_rows = [

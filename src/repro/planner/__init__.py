@@ -1,0 +1,50 @@
+"""``repro.planner`` — hybrid analytic–simulation experiment planning.
+
+The paper evaluates each architecture with full 2^k·r factorial
+simulation sweeps, *after* Section 3 has already produced closed-form
+operational predictions for much of the same space.  This package puts
+the two together: analytic screening prunes design cells where the
+Section 3 model is validated and trusted, adaptive replication spends
+the simulation budget where variance actually demands it, and pruned
+cells are reported as explicitly-tagged surrogates (analytic value plus
+a correction interpolated from simulated neighbors).
+
+Entry points:
+
+* :func:`run_planned` — plan and execute one factorial design.
+* :func:`adaptive_replicate` — precision-driven replication of a single
+  configuration (the ``rocc --plan`` path).
+* :func:`screen` / :func:`predict` — the analytic stages, usable (and
+  golden-mastered) without running any simulation.
+"""
+
+from .analytic import AnalyticPrediction, applicability, predict
+from .plan import PlannedCell, PlannedDesign, PlannerConfig, run_planned
+from .replication import (
+    ReplicationBudget,
+    ReplicationPolicy,
+    adaptive_replicate,
+    continue_replication,
+)
+from .screening import CellDecision, ScreeningPolicy, ScreeningReport, screen
+from .surrogate import SurrogateCell, build_surrogates
+
+__all__ = [
+    "AnalyticPrediction",
+    "applicability",
+    "predict",
+    "ScreeningPolicy",
+    "CellDecision",
+    "ScreeningReport",
+    "screen",
+    "ReplicationPolicy",
+    "ReplicationBudget",
+    "adaptive_replicate",
+    "continue_replication",
+    "SurrogateCell",
+    "build_surrogates",
+    "PlannerConfig",
+    "PlannedCell",
+    "PlannedDesign",
+    "run_planned",
+]

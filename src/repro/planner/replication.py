@@ -1,0 +1,179 @@
+"""Adaptive replication: add repetitions until precision or budget.
+
+The paper fixes r per design and reports 90 % confidence intervals.
+:func:`adaptive_replicate` inverts that: start each cell at a minimum
+replication count, then keep adding replications — through the ambient
+experiment engine, with the exact replication-numbering scheme of
+:func:`repro.experiments.replicate` so results stay bit-identical and
+cache-shared with unplanned runs — until every target metric's CI
+half-width reaches the requested relative precision, the cell hits its
+replication cap, or the shared budget runs out.
+
+:func:`repro.expdesign.repetitions_needed` (pilot sizing) provides the
+step size, so a high-variance cell jumps straight toward its projected
+count instead of creeping one replication at a time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..expdesign.confidence import repetitions_needed
+from ..experiments.engine import ExperimentEngine, current_engine
+from ..experiments.runners import MeanResults, replicate
+from ..rocc.config import SimulationConfig
+
+__all__ = [
+    "ReplicationPolicy",
+    "ReplicationBudget",
+    "adaptive_replicate",
+    "continue_replication",
+]
+
+
+@dataclass(frozen=True)
+class ReplicationPolicy:
+    """Precision target for adaptive replication.
+
+    ``ci_target`` is the requested relative CI half-width at ``level``
+    for every metric in ``metrics``; cells whose metrics are all-NaN
+    (e.g. latency in a cell that completes no batch) count as converged
+    on that metric — no number of replications will produce one.
+    """
+
+    ci_target: float = 0.35
+    level: float = 0.90
+    min_replications: int = 2
+    max_replications: int = 8
+    metrics: Tuple[str, ...] = ("pd_cpu_time_per_node",)
+
+    def __post_init__(self) -> None:
+        if self.ci_target <= 0:
+            raise ValueError("ci_target must be positive")
+        if not 0 < self.level < 1:
+            raise ValueError("level must be in (0, 1)")
+        if self.min_replications < 1:
+            raise ValueError("min_replications must be >= 1")
+        if self.max_replications < self.min_replications:
+            raise ValueError("max_replications must be >= min_replications")
+        if not self.metrics:
+            raise ValueError("need at least one target metric")
+
+
+@dataclass
+class ReplicationBudget:
+    """Shared cap on total cell-replications across a planned design.
+
+    ``total=None`` means unbounded.  :meth:`take` grants at most the
+    remaining allowance, so concurrent cells cannot overdraw.
+    """
+
+    total: Optional[int] = None
+    used: int = 0
+
+    def remaining(self) -> float:
+        if self.total is None:
+            return math.inf
+        return max(0, self.total - self.used)
+
+    def take(self, want: int) -> int:
+        granted = int(min(want, self.remaining()))
+        self.used += granted
+        return granted
+
+
+def _unconverged(res: MeanResults, policy: ReplicationPolicy) -> List[str]:
+    """Target metrics that have not reached the precision target."""
+    out: List[str] = []
+    for name in policy.metrics:
+        ci = res.mean_ci(name, level=policy.level)
+        if ci.n == 0:
+            continue  # metric absent in every rep: nothing to converge
+        if ci.degenerate:
+            out.append(name)
+            continue
+        if ci.half_width == 0 or ci.mean == 0:
+            continue  # zero-width / relative criterion undefined
+        if ci.relative_half_width > policy.ci_target:
+            out.append(name)
+    return out
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def adaptive_replicate(
+    config: SimulationConfig,
+    policy: ReplicationPolicy = ReplicationPolicy(),
+    budget: Optional[ReplicationBudget] = None,
+    aggregated: bool = False,
+    engine: Optional[ExperimentEngine] = None,
+) -> MeanResults:
+    """Replicate *config* until precision, cap, or budget exhaustion.
+
+    Replication i always runs as ``config.with_(replication=
+    config.replication + i)`` — the same construction as the fixed-r
+    runners — so a planned cell's replications are bit-identical to an
+    unplanned run's and the engine cache serves across both.
+    """
+    engine = engine or current_engine()
+    budget = budget if budget is not None else ReplicationBudget()
+    want = policy.min_replications
+    have = budget.take(want)
+    if have == 0:
+        raise RuntimeError(
+            "replication budget exhausted before the first replication"
+        )
+    res = replicate(config, repetitions=have, aggregated=aggregated,
+                    engine=engine)
+    return continue_replication(
+        config, res, policy, budget, aggregated=aggregated, engine=engine
+    )
+
+
+def continue_replication(
+    config: SimulationConfig,
+    res: MeanResults,
+    policy: ReplicationPolicy,
+    budget: ReplicationBudget,
+    aggregated: bool = False,
+    engine: Optional[ExperimentEngine] = None,
+) -> MeanResults:
+    """Top up an already-started cell toward the precision target.
+
+    Each round projects the total replication count from the widest
+    pending metric (pilot sizing) and jumps toward it, clamped by the
+    per-cell cap and the shared budget.
+    """
+    engine = engine or current_engine()
+    have = len(res.results)
+    while have < policy.max_replications:
+        pending = _unconverged(res, policy)
+        if not pending:
+            break
+        projected = have + 1
+        for name in pending:
+            finite = _finite(res.raw(name))
+            if len(finite) >= 2:
+                projected = max(
+                    projected,
+                    repetitions_needed(finite, policy.ci_target,
+                                       level=policy.level),
+                )
+        target = min(projected, policy.max_replications)
+        add = budget.take(max(0, target - have))
+        if add == 0:
+            break
+        extra = engine.run_cells(
+            [
+                config.with_(replication=config.replication + have + i)
+                for i in range(add)
+            ],
+            aggregated=aggregated,
+        )
+        res = MeanResults(res.results + list(extra), res.errors)
+        have += add
+    return res

@@ -1,0 +1,143 @@
+"""Surrogate values for pruned cells: analytic + interpolated correction.
+
+A pruned cell's reported value is the analytic prediction plus a
+correction interpolated from its *simulated trusted* Hamming-1
+neighbors (anchors): the mean of (simulated − analytic) over the
+anchors, per metric.  Anchors are restricted to cells whose own
+prediction is in the trusted region — a simulated neighbor kept for
+saturation or contention measures a regime the surrogate cell is not
+in, and its residual would poison the correction (e.g. a contention-
+dominated latency residual of hundreds of ms applied to an unloaded
+cell).  When no trusted anchor exists the analytic value stands alone,
+and the tag says so.
+
+Corrections are additive for utilizations and CPU times (residuals on
+a bounded scale transfer across neighbors) but *multiplicative* for
+residence-time metrics: a latency residual measured at one batch level
+is on a completely different scale than the neighbor cell's (per-batch
+vs per-sample residence differ by ~b×), while the simulation/analytic
+*ratio* transfers.
+
+Every surrogate is explicitly tagged; reporting code must never present
+one as a simulation result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from ..experiments.runners import MeanResults
+from ..expdesign.factorial import FactorialDesign
+from .screening import CellDecision, ScreeningReport, neighbors
+
+__all__ = ["SurrogateCell", "build_surrogates"]
+
+#: Metrics that are physically non-negative; corrections are clamped.
+_NON_NEGATIVE = ("utilization", "cpu_time", "latency", "throughput")
+
+#: Metrics whose correction is a ratio, not a residual (see module
+#: docstring).
+_MULTIPLICATIVE = ("latency",)
+
+
+@dataclass(frozen=True)
+class SurrogateCell:
+    """Analytic-plus-correction stand-in for one pruned cell."""
+
+    index: int
+    label: str
+    metrics: Dict[str, float]
+    #: Standard-order indices of the simulated cells the correction was
+    #: interpolated from (empty → analytic value only).
+    anchors: List[int] = field(default_factory=list)
+
+    @property
+    def corrected(self) -> bool:
+        return bool(self.anchors)
+
+    @property
+    def tag(self) -> str:
+        """Reporting tag; always identifies the value as a surrogate."""
+        if self.corrected:
+            runs = ",".join(str(a) for a in self.anchors)
+            return f"surrogate (analytic + correction from runs {runs})"
+        return "surrogate (analytic only)"
+
+    def __getattr__(self, name: str) -> float:
+        # Metric access mirrors MeanResults so table builders can treat
+        # simulated and surrogate cells uniformly.
+        metrics = object.__getattribute__(self, "metrics")
+        if name in metrics:
+            return metrics[name]
+        raise AttributeError(
+            f"surrogate cell has no metric {name!r} (analytic model "
+            f"predicts: {sorted(metrics)})"
+        )
+
+
+def _clamped(name: str, value: float) -> float:
+    if any(part in name for part in _NON_NEGATIVE):
+        return max(0.0, value)
+    return value
+
+
+def build_surrogates(
+    report: ScreeningReport,
+    simulated: Mapping[int, MeanResults],
+) -> Dict[int, SurrogateCell]:
+    """Build one :class:`SurrogateCell` per pruned cell of *report*.
+
+    *simulated* maps standard-order index → replication means for every
+    simulated cell.
+    """
+    design = report.design
+    by_index: Dict[int, CellDecision] = {
+        d.index: d for d in report.decisions
+    }
+    out: Dict[int, SurrogateCell] = {}
+    for decision in report.decisions:
+        if decision.simulate:
+            continue
+        analytic = decision.prediction.metrics
+        anchors = [
+            j
+            for j in neighbors(design, decision.index)
+            if j in simulated
+            and by_index[j].simulate
+            and by_index[j].trusted
+        ]
+        metrics: Dict[str, float] = {}
+        for name, a_value in analytic.items():
+            multiplicative = any(p in name for p in _MULTIPLICATIVE)
+            corrections: List[float] = []
+            for j in anchors:
+                a_nb = by_index[j].prediction.metrics.get(name)
+                s_nb = getattr(simulated[j], name, float("nan"))
+                if (
+                    a_nb is None
+                    or not math.isfinite(a_nb)
+                    or not math.isfinite(s_nb)
+                ):
+                    continue
+                if multiplicative:
+                    if a_nb > 0 and s_nb > 0:
+                        corrections.append(s_nb / a_nb)
+                else:
+                    corrections.append(s_nb - a_nb)
+            value = a_value
+            if corrections and math.isfinite(a_value):
+                correction = sum(corrections) / len(corrections)
+                if multiplicative:
+                    value = a_value * correction
+                else:
+                    value = a_value + correction
+            metrics[name] = _clamped(name, value)
+        out[decision.index] = SurrogateCell(
+            index=decision.index,
+            label=decision.label,
+            metrics=metrics,
+            anchors=anchors,
+        )
+    return out

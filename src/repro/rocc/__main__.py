@@ -57,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "requests into the nodes (e.g. 'stationary:rate=200', "
                         "'open:avg_users=100,rpm=60'); see "
                         "repro.workload.generators for the registry")
+    parser.add_argument("--plan", action="store_true",
+                        help="adaptive replication: repeat the run with "
+                        "fresh replication substreams until the 90%% CI "
+                        "half-widths of the key metrics reach --ci-target "
+                        "(or --budget replications), and report means "
+                        "with confidence intervals")
+    parser.add_argument("--ci-target", type=float, default=0.35,
+                        metavar="FRACTION",
+                        help="relative CI half-width target for --plan "
+                        "(default: 0.35)")
+    parser.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="cap on total replications for --plan "
+                        "(default: the per-cell cap, 8)")
     parser.add_argument("--lp-workers", type=int, default=None, metavar="K",
                         help="partition the run across K parallel LP worker "
                         "processes (conservative sync; default: "
@@ -158,6 +171,77 @@ def format_results(r: SimulationResults) -> str:
     return "\n".join(lines)
 
 
+#: Metrics the --plan mode drives to the precision target and reports.
+_PLAN_METRICS = (
+    "pd_cpu_time_per_node",
+    "main_cpu_time",
+    "monitoring_latency_forwarding",
+)
+
+
+def _planned_run(args, config) -> int:
+    """--plan path: adaptive replication of the one configuration."""
+    from ..experiments.engine import CellCache
+    from ..experiments.resilience import ResilientEngine, RetryPolicy
+    from ..planner import (
+        ReplicationBudget,
+        ReplicationPolicy,
+        adaptive_replicate,
+        predict,
+    )
+
+    cap = args.budget if args.budget is not None else 8
+    policy = ReplicationPolicy(
+        ci_target=args.ci_target,
+        metrics=_PLAN_METRICS,
+        min_replications=min(2, cap),
+        max_replications=cap,
+    )
+    budget = ReplicationBudget(total=args.budget)
+    with ResilientEngine(
+        workers=1,
+        lp_workers=args.lp_workers,
+        cache=CellCache(enabled=False),
+        retry=RetryPolicy(max_attempts=args.max_retries + 1),
+        cell_timeout=args.cell_timeout,
+        journal=args.resume,
+        strict=args.strict,
+    ) as engine:
+        res = adaptive_replicate(
+            config, policy, budget,
+            aggregated=args.aggregated, engine=engine,
+        )
+    n = len(res.results)
+    print(f"configuration : {res.config_summary}")
+    print(f"replications  : {n} (target rel. CI half-width "
+          f"{args.ci_target:.2f} at 90%)")
+    pred = predict(config)
+    for name in _PLAN_METRICS:
+        ci = res.mean_ci(name)
+        if ci.n == 0:
+            print(f"{name:32s}: no finite observations")
+            continue
+        hw = "inf" if ci.degenerate else f"{ci.half_width:.4g}"
+        rel = (
+            "-" if not (ci.relative_half_width
+                        == ci.relative_half_width)
+            else ("inf" if ci.relative_half_width == float("inf")
+                  else f"{100 * ci.relative_half_width:.1f}%")
+        )
+        line = (
+            f"{name:32s}: {ci.mean:.6g} ± {hw} µs "
+            f"(rel {rel}, n={ci.n})"
+        )
+        analytic = pred.metrics.get(name)
+        if analytic is not None and analytic == analytic:
+            line += f" [analytic: {analytic:.6g}]"
+        print(line)
+    if pred.applicable and pred.saturated:
+        print("note: analytic model predicts saturation for this "
+              "configuration")
+    return 0
+
+
 def _resilient_run(args, config):
     """Run the single cell through a :class:`ResilientEngine` so the
     CLI gets deadlines, retries, and journal resume; returns
@@ -197,10 +281,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(
             f"--lp-workers must be >= 1, got {args.lp_workers}"
         )
+    if args.ci_target <= 0:
+        parser.error("--ci-target must be positive")
+    if args.budget is not None and args.budget < 1:
+        parser.error("--budget must be >= 1")
     try:
         config = config_from_args(args)
     except ValueError as exc:
         parser.error(str(exc))
+    if args.plan:
+        return _planned_run(args, config)
     if args.aggregated:
         runner = simulate_aggregated
     else:

@@ -56,6 +56,7 @@ __all__ = [
     "check_event_queue",
     "check_parallel_kernel",
     "check_open_workload",
+    "check_planner",
     "differential_checks",
 ]
 
@@ -471,6 +472,89 @@ def check_open_workload(config: SimulationConfig) -> List[Violation]:
     return out
 
 
+def check_planner(config: SimulationConfig,
+                  repetitions: int = 2) -> List[Violation]:
+    """Planned runs simulate cells bit-identically to unplanned runs.
+
+    The experiment planner (:mod:`repro.planner`) promises that the
+    cells it *does* simulate are exactly the cells a fixed-r run would
+    have produced — same configs, same seeds, same replication
+    numbering — so pruning only ever removes information, never skews
+    it.  This check builds a small 2^2 design around *config* (sampling
+    period ×1/×8, batch size 1/8), runs it planned and unplanned on
+    cache-less engines, and diffs every replication of every cell the
+    planner simulated against the unplanned run's.  It also asserts
+    that pruned cells are reported as tagged surrogates, never as
+    simulation output.
+    """
+    from ..expdesign.factorial import Factor, FactorialDesign
+    from ..experiments.runners import run_design
+    from ..experiments.engine import use_engine
+    from ..planner import run_planned
+
+    design = FactorialDesign([
+        Factor("sampling_period", config.sampling_period,
+               config.sampling_period * 8, "B"),
+        Factor("batch_size", 1, 8, "C"),
+    ])
+
+    def make(run) -> SimulationConfig:
+        return config.with_(
+            sampling_period=run["sampling_period"],
+            batch_size=int(run["batch_size"]),
+        )
+
+    no_cache = CellCache(enabled=False)
+    with ExperimentEngine(workers=1, cache=no_cache) as plain:
+        with use_engine(plain):
+            unplanned = run_design(design, make, repetitions=repetitions)
+    with ExperimentEngine(workers=1, cache=no_cache) as engine:
+        with use_engine(engine):
+            planned = run_planned(design, make, repetitions=repetitions)
+
+    out: List[Violation] = []
+    for cell in planned.cells:
+        if cell.source == "surrogate":
+            if cell.results is not None:
+                out.append(Violation(
+                    invariant="differential.planner",
+                    detail=(
+                        f"pruned cell {cell.index} carries simulation "
+                        "results"
+                    ),
+                    subject=_subject(config),
+                ))
+            if "surrogate" not in cell.tag:
+                out.append(Violation(
+                    invariant="differential.planner",
+                    detail=(
+                        f"pruned cell {cell.index} is not tagged as a "
+                        f"surrogate (tag: {cell.tag!r})"
+                    ),
+                    subject=_subject(config),
+                ))
+            continue
+        expected = unplanned[cell.index].results
+        actual = cell.results.results
+        for r, (e, a) in enumerate(zip(expected, actual)):
+            diffs = diff_results(e, a)
+            if diffs:
+                out.append(_diff_violation(
+                    "differential.planner", config, diffs,
+                    f"planned cell {cell.index} replication {r}",
+                ))
+        if len(actual) < min(repetitions, len(expected)):
+            out.append(Violation(
+                invariant="differential.planner",
+                detail=(
+                    f"planned cell {cell.index} ran {len(actual)} "
+                    f"replications, unplanned ran {len(expected)}"
+                ),
+                subject=_subject(config),
+            ))
+    return out
+
+
 def differential_checks(
     config: SimulationConfig,
     include_workers: bool = True,
@@ -485,6 +569,7 @@ def differential_checks(
     out.extend(check_event_queue(config))
     out.extend(check_parallel_kernel(config))
     out.extend(check_open_workload(config))
+    out.extend(check_planner(config))
     if include_workers:
         out.extend(check_workers(config))
     return out

@@ -6,9 +6,33 @@ import pytest
 from repro.expdesign import mean_confidence_interval, repetitions_needed
 
 
-def test_needs_two_observations():
-    with pytest.raises(ValueError):
-        mean_confidence_interval([1.0])
+def test_single_observation_degenerate():
+    ci = mean_confidence_interval([1.0])
+    assert ci.degenerate
+    assert ci.n == 1
+    assert ci.mean == 1.0
+    assert ci.low == float("-inf") and ci.high == float("inf")
+    assert ci.half_width == float("inf")
+    assert ci.relative_half_width == float("inf")
+    assert ci.contains(42.0)  # an uninformative interval excludes nothing
+
+
+def test_empty_sample_degenerate():
+    ci = mean_confidence_interval([])
+    assert ci.degenerate
+    assert ci.n == 0
+    assert ci.mean != ci.mean  # NaN
+    assert ci.half_width == float("inf")
+    assert ci.relative_half_width == float("inf")
+
+
+def test_zero_variance_zero_width():
+    ci = mean_confidence_interval([5.0, 5.0, 5.0, 5.0])
+    assert not ci.degenerate
+    assert ci.mean == 5.0
+    assert ci.half_width == 0.0
+    assert ci.relative_half_width == 0.0
+    assert ci.contains(5.0) and not ci.contains(5.0001)
 
 
 def test_level_validation():
@@ -71,13 +95,36 @@ def test_repetitions_needed_scales_with_precision(rng):
     assert tight >= 100 * loose // 110  # roughly quadratic
 
 
-def test_repetitions_needed_validation(rng):
-    with pytest.raises(ValueError):
-        repetitions_needed([1.0], 0.1)
+def test_repetitions_needed_validation():
     with pytest.raises(ValueError):
         repetitions_needed([1.0, 2.0], 0.0)
     with pytest.raises(ValueError):
-        repetitions_needed([-1.0, 1.0], 0.1)
+        repetitions_needed([1.0, 2.0], 0.1, level=1.2)
+
+
+def test_repetitions_needed_degenerate_pilots():
+    # <2 finite observations: no variance estimate, no extrapolation —
+    # the answer is the smallest sample a CI can be formed from.
+    assert repetitions_needed([1.0], 0.1) == 2
+    assert repetitions_needed([], 0.1) == 2
+    assert repetitions_needed([1.0, float("nan"), float("inf")], 0.1) == 2
+
+
+def test_repetitions_needed_zero_variance_converged():
+    assert repetitions_needed([3.0, 3.0, 3.0], 0.01) == 3
+
+
+def test_repetitions_needed_zero_mean_no_extrapolation():
+    # The relative criterion is undefined at x̄ = 0; the pilot size comes
+    # back instead of a div-by-zero surprise.
+    assert repetitions_needed([-1.0, 1.0], 0.1) == 2
+    assert repetitions_needed([-2.0, 0.0, 2.0], 0.1) == 3
+
+
+def test_repetitions_needed_filters_nonfinite(rng):
+    clean = rng.normal(100.0, 20.0, 10)
+    noisy = list(clean) + [float("nan"), float("inf")]
+    assert repetitions_needed(noisy, 0.05) == repetitions_needed(clean, 0.05)
 
 
 def test_repetitions_at_least_pilot_size(rng):
@@ -96,8 +143,9 @@ def test_nonfinite_observations_excluded():
     assert noisy.n == 3
 
 
-def test_too_few_finite_observations_raise():
-    with pytest.raises(ValueError, match="finite"):
-        mean_confidence_interval([1.0, float("nan"), float("nan")])
-    with pytest.raises(ValueError, match="finite"):
-        mean_confidence_interval([float("nan")] * 5)
+def test_too_few_finite_observations_degenerate():
+    ci = mean_confidence_interval([1.0, float("nan"), float("nan")])
+    assert ci.degenerate and ci.n == 1 and ci.mean == 1.0
+    all_nan = mean_confidence_interval([float("nan")] * 5)
+    assert all_nan.degenerate and all_nan.n == 0
+    assert all_nan.relative_half_width == float("inf")

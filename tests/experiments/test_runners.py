@@ -133,10 +133,11 @@ def test_mean_ci_excludes_nan_reps(cfg):
     assert ci.n == 3  # the NaN rep dropped out
 
 
-def test_mean_ci_needs_two_finite_reps(cfg):
+def test_mean_ci_degenerate_without_two_finite_reps(cfg):
     res = replicate(cfg.with_(batch_size=1000), repetitions=2)
-    with pytest.raises(ValueError, match="finite"):
-        res.mean_ci("monitoring_latency_forwarding")
+    ci = res.mean_ci("monitoring_latency_forwarding")
+    assert ci.degenerate and ci.n == 0
+    assert ci.relative_half_width == float("inf")
 
 
 def test_mean_results_fully_failed_cell_degrades_to_nan():

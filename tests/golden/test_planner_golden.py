@@ -1,0 +1,126 @@
+"""Golden masters for the experiment planner's screening decisions.
+
+The planner's value rests on *which* cells it decides to simulate and
+why; a silent change to the trust predicate, the gradient pass, or the
+anchor pass would quietly shift every planned experiment.  The
+screening stage is purely analytic — no simulation, fully
+deterministic — so its decisions for the quick NOW and MPP factorial
+designs are snapshotted verbatim (decision, reason, trust flag, and
+the analytic utilization that drove it) under ``tests/golden/``.
+
+Intentional policy changes regenerate the snapshots with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and the diff is reviewed like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import mpp_exp, now_exp
+from repro.planner import screen
+
+GOLDEN_DIR = Path(__file__).parent
+
+REL_TOL = 1e-9
+
+SPECS = {
+    "planner_now": now_exp.design_spec,
+    "planner_mpp": mpp_exp.design_spec,
+}
+
+
+def snapshot_decisions(name: str) -> dict:
+    spec = SPECS[name](quick=True)
+    configs = [spec.make(run) for run in spec.design.runs()]
+    report = screen(spec.design, configs)
+    cells = []
+    for d in report.decisions:
+        pred = d.prediction
+        max_util = pred.max_utilization
+        cells.append({
+            "index": d.index,
+            "label": d.label,
+            "simulate": d.simulate,
+            "trusted": d.trusted,
+            "reason": d.reason,
+            "applicable": pred.applicable,
+            "saturated": pred.saturated,
+            "drop_risk": pred.drop_risk,
+            "max_utilization": (
+                "inf" if math.isinf(max_util) else max_util
+            ),
+        })
+    return {
+        "design": spec.design.labels,
+        "pruned": sorted(report.pruned),
+        "cells": cells,
+    }
+
+
+def _same(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=0.0)
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_same(a[k], b[k]) for k in a)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(_same(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_planner_screening_golden(
+    name: str, request: pytest.FixtureRequest
+) -> None:
+    actual = snapshot_decisions(name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden snapshot {path.name} regenerated")
+    assert path.is_file(), (
+        f"missing golden snapshot {path}; generate it with "
+        "`python -m pytest tests/golden --update-golden`"
+    )
+    expected = json.loads(path.read_text())
+    problems = []
+    for exp_cell, act_cell in zip(expected["cells"], actual["cells"]):
+        for key in sorted(set(exp_cell) | set(act_cell)):
+            if not _same(exp_cell.get(key), act_cell.get(key)):
+                problems.append(
+                    f"cell {exp_cell.get('index')}: {key} expected "
+                    f"{exp_cell.get(key)!r}, got {act_cell.get(key)!r}"
+                )
+    if expected["pruned"] != actual["pruned"]:
+        problems.append(
+            f"pruned set drifted: expected {expected['pruned']}, "
+            f"got {actual['pruned']}"
+        )
+    assert not problems, (
+        f"planner screening decisions drifted from the golden master "
+        f"({name}):\n  " + "\n  ".join(problems)
+        + "\nIf the policy change is intentional, regenerate with "
+        "`python -m pytest tests/golden --update-golden` and review "
+        "the diff."
+    )
+
+
+def test_planner_golden_catches_policy_drift() -> None:
+    """A tightened trust threshold must change the snapshot, not pass."""
+    from repro.planner import ScreeningPolicy
+
+    spec = SPECS["planner_now"](quick=True)
+    configs = [spec.make(run) for run in spec.design.runs()]
+    default = screen(spec.design, configs)
+    strict = screen(
+        spec.design, configs, ScreeningPolicy(trust_utilization=0.0001)
+    )
+    assert default.pruned, "default policy prunes nothing on the NOW design"
+    assert not strict.pruned, (
+        "an (absurdly) strict trust threshold still pruned cells"
+    )

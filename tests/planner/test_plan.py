@@ -1,0 +1,120 @@
+"""Integration tests for :func:`repro.planner.run_planned`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.expdesign import Factor, FactorialDesign
+from repro.experiments.engine import CellCache, ExperimentEngine
+from repro.planner import PlannerConfig, ReplicationPolicy, run_planned
+from repro.rocc.config import SimulationConfig
+
+
+def _design():
+    # Spans trusted (long period, big batch) and untrusted (short
+    # period) regimes so both pruning and simulation happen.
+    return FactorialDesign([
+        Factor("sampling_period", 10_000.0, 160_000.0, "B"),
+        Factor("batch_size", 1, 16, "C"),
+    ])
+
+
+def _make(run) -> SimulationConfig:
+    return SimulationConfig(
+        nodes=2,
+        duration=500_000.0,
+        sampling_period=run["sampling_period"],
+        batch_size=int(run["batch_size"]),
+        seed=11,
+    )
+
+
+@pytest.fixture
+def engine():
+    with ExperimentEngine(workers=1, cache=CellCache(enabled=False)) as e:
+        yield e
+
+
+def test_planned_design_structure(engine):
+    plan = run_planned(_design(), _make, repetitions=2, engine=engine)
+    assert [c.index for c in plan.cells] == list(range(4))
+    assert plan.baseline_replications == 8
+    assert plan.replications_used <= 8
+    for cell in plan.cells:
+        if cell.source == "simulated":
+            assert cell.results is not None
+            assert "simulated" in cell.tag
+        else:
+            assert cell.surrogate is not None
+            assert cell.results is None
+            assert "surrogate" in cell.tag
+    assert plan.cells_pruned == sum(
+        1 for c in plan.cells if c.source == "surrogate"
+    )
+    assert "cells pruned" in plan.summary()
+
+
+def test_engine_stats_and_savings(engine):
+    before_pruned = engine.stats.cells_pruned
+    before_saved = engine.stats.replications_saved
+    plan = run_planned(_design(), _make, repetitions=2, engine=engine)
+    assert engine.stats.cells_pruned - before_pruned == plan.cells_pruned
+    assert (
+        engine.stats.replications_saved - before_saved
+        == plan.replications_saved
+    )
+    assert (
+        plan.replications_saved
+        == plan.baseline_replications - plan.replications_used
+    )
+
+
+def test_calibration_gate_unprunes_everything(engine):
+    """An impossible tolerance must force full simulation, not quietly
+    ship surrogate values from a distrusted model."""
+    planner = PlannerConfig(calibration_tolerance=1e-12)
+    plan = run_planned(
+        _design(), _make, repetitions=2, planner=planner, engine=engine
+    )
+    assert plan.calibration_failed
+    assert plan.cells_pruned == 0
+    assert all(c.source == "simulated" for c in plan.cells)
+    assert "FAILED" in plan.summary()
+
+
+def test_budget_caps_total_replications(engine):
+    planner = PlannerConfig(budget=4)
+    plan = run_planned(
+        _design(), _make, repetitions=2, planner=planner, engine=engine
+    )
+    assert plan.replications_used <= 4
+
+
+def test_tight_ci_target_grows_within_baseline_budget(engine):
+    planner = PlannerConfig(
+        replication=ReplicationPolicy(ci_target=0.0001, max_replications=4)
+    )
+    plan = run_planned(
+        _design(), _make, repetitions=2, planner=planner, engine=engine
+    )
+    # The default budget is the fixed-r baseline: adaptive growth can
+    # spend the savings from pruning but never exceed the baseline.
+    assert plan.replications_used <= plan.baseline_replications
+
+
+def test_surrogate_values_are_finite_and_plausible(engine):
+    plan = run_planned(_design(), _make, repetitions=2, engine=engine)
+    pruned = [c for c in plan.cells if c.source == "surrogate"]
+    if not pruned:
+        pytest.skip("nothing pruned on this design")
+    for cell in pruned:
+        value = cell.value.pd_cpu_utilization_per_node
+        assert math.isfinite(value)
+        assert 0.0 <= value <= 1.0
+
+
+def test_repetitions_validated(engine):
+    with pytest.raises(ValueError):
+        run_planned(_design(), _make, repetitions=0, engine=engine)

@@ -1,0 +1,127 @@
+"""Unit tests for adaptive replication: policy, budget, convergence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.engine import CellCache, ExperimentEngine
+from repro.experiments.runners import replicate
+from repro.planner import (
+    ReplicationBudget,
+    ReplicationPolicy,
+    adaptive_replicate,
+    continue_replication,
+)
+from repro.rocc.config import SimulationConfig
+
+
+def _cfg(**kw) -> SimulationConfig:
+    base = dict(
+        nodes=2, duration=500_000.0, sampling_period=20_000.0, seed=9
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+@pytest.fixture
+def engine():
+    with ExperimentEngine(workers=1, cache=CellCache(enabled=False)) as e:
+        yield e
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        ReplicationPolicy()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(ci_target=0.0),
+            dict(ci_target=-0.1),
+            dict(level=0.0),
+            dict(level=1.0),
+            dict(min_replications=0),
+            dict(min_replications=5, max_replications=4),
+            dict(metrics=()),
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ValueError):
+            ReplicationPolicy(**kw)
+
+
+class TestBudget:
+    def test_unbounded_by_default(self):
+        budget = ReplicationBudget()
+        assert budget.remaining() == float("inf")
+        assert budget.take(1_000) == 1_000
+
+    def test_take_caps_at_remaining(self):
+        budget = ReplicationBudget(total=5)
+        assert budget.take(3) == 3
+        assert budget.take(3) == 2
+        assert budget.take(3) == 0
+        assert budget.used == 5
+        assert budget.remaining() == 0
+
+    def test_take_never_overdraws(self):
+        budget = ReplicationBudget(total=2, used=2)
+        assert budget.take(1) == 0
+
+
+class TestAdaptiveReplicate:
+    def test_runs_at_least_min_replications(self, engine):
+        policy = ReplicationPolicy(
+            ci_target=10.0, min_replications=2, max_replications=8
+        )
+        res = adaptive_replicate(_cfg(), policy, engine=engine)
+        assert len(res.results) == 2
+
+    def test_loose_target_stops_at_minimum(self, engine):
+        policy = ReplicationPolicy(ci_target=5.0)
+        res = adaptive_replicate(_cfg(), policy, engine=engine)
+        assert len(res.results) == policy.min_replications
+
+    def test_tight_target_adds_replications(self, engine):
+        policy = ReplicationPolicy(
+            ci_target=0.0001, min_replications=2, max_replications=5
+        )
+        res = adaptive_replicate(_cfg(), policy, engine=engine)
+        assert 2 < len(res.results) <= 5
+
+    def test_budget_caps_growth(self, engine):
+        policy = ReplicationPolicy(
+            ci_target=0.0001, min_replications=2, max_replications=8
+        )
+        budget = ReplicationBudget(total=3)
+        res = adaptive_replicate(_cfg(), policy, budget, engine=engine)
+        assert len(res.results) == 3
+        assert budget.remaining() == 0
+
+    def test_bit_identical_to_fixed_r(self, engine):
+        """Replication numbering matches the fixed-r runners exactly."""
+        from repro.verify.differential import diff_results
+
+        cfg = _cfg()
+        policy = ReplicationPolicy(
+            ci_target=10.0, min_replications=3, max_replications=3
+        )
+        adaptive = adaptive_replicate(cfg, policy, engine=engine)
+        fixed = replicate(cfg, repetitions=3, engine=engine)
+        for a, b in zip(adaptive.results, fixed.results):
+            assert diff_results(a, b) == []
+
+    def test_continue_replication_tops_up(self, engine):
+        cfg = _cfg()
+        seed = replicate(cfg, repetitions=2, engine=engine)
+        policy = ReplicationPolicy(
+            ci_target=0.0001, min_replications=2, max_replications=4
+        )
+        grown = continue_replication(
+            cfg, seed, policy, ReplicationBudget(), engine=engine
+        )
+        assert len(grown.results) == 4
+        from repro.verify.differential import diff_results
+
+        for a, b in zip(seed.results, grown.results):
+            assert diff_results(a, b) == []

@@ -1,0 +1,150 @@
+"""Unit tests for surrogate interpolation (analytic + correction)."""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.expdesign import Factor, FactorialDesign
+from repro.planner import build_surrogates
+from repro.planner.analytic import AnalyticPrediction
+from repro.planner.screening import CellDecision, ScreeningReport
+
+
+def _design():
+    return FactorialDesign([Factor("x", 0, 1, "X")])
+
+
+def _decision(index, simulate, metrics, trusted=True):
+    return CellDecision(
+        index=index,
+        label=f"X{'+' if index else '-'}",
+        simulate=simulate,
+        reason="test",
+        prediction=AnalyticPrediction(
+            applicable=True,
+            metrics=metrics,
+            utilizations={"pd_cpu": 0.1},
+        ),
+        trusted=trusted,
+    )
+
+
+def _report(decisions):
+    return ScreeningReport(design=_design(), decisions=decisions)
+
+
+class TestCorrections:
+    def test_additive_correction_from_anchor(self):
+        # Anchor (cell 1): analytic 0.10, simulated 0.12 → residual +0.02
+        # transfers additively onto the pruned cell's analytic 0.30.
+        report = _report([
+            _decision(0, simulate=False,
+                      metrics={"pd_cpu_utilization_per_node": 0.30}),
+            _decision(1, simulate=True,
+                      metrics={"pd_cpu_utilization_per_node": 0.10}),
+        ])
+        simulated = {1: SimpleNamespace(pd_cpu_utilization_per_node=0.12)}
+        cell = build_surrogates(report, simulated)[0]
+        assert cell.anchors == [1]
+        assert cell.corrected
+        assert math.isclose(
+            cell.metrics["pd_cpu_utilization_per_node"], 0.32
+        )
+        assert "correction from runs 1" in cell.tag
+
+    def test_latency_correction_is_multiplicative(self):
+        # Anchor latency ratio sim/analytic = 2.0 scales the pruned
+        # cell's analytic latency; a raw residual would be on the wrong
+        # scale entirely (per-batch vs per-sample residence).
+        report = _report([
+            _decision(0, simulate=False,
+                      metrics={"monitoring_latency_forwarding": 400.0}),
+            _decision(1, simulate=True,
+                      metrics={"monitoring_latency_forwarding": 1000.0}),
+        ])
+        simulated = {
+            1: SimpleNamespace(monitoring_latency_forwarding=2000.0)
+        }
+        cell = build_surrogates(report, simulated)[0]
+        assert math.isclose(
+            cell.metrics["monitoring_latency_forwarding"], 800.0
+        )
+
+    def test_clamped_non_negative(self):
+        report = _report([
+            _decision(0, simulate=False,
+                      metrics={"pd_cpu_utilization_per_node": 0.01}),
+            _decision(1, simulate=True,
+                      metrics={"pd_cpu_utilization_per_node": 0.50}),
+        ])
+        simulated = {1: SimpleNamespace(pd_cpu_utilization_per_node=0.10)}
+        cell = build_surrogates(report, simulated)[0]
+        # 0.01 + (0.10 − 0.50) would be negative; clamped to zero.
+        assert cell.metrics["pd_cpu_utilization_per_node"] == 0.0
+
+    def test_untrusted_anchor_excluded(self):
+        """A neighbor simulated because it *saturates* measures another
+        regime; its residual must not leak into the correction."""
+        report = _report([
+            _decision(0, simulate=False,
+                      metrics={"pd_cpu_utilization_per_node": 0.30}),
+            _decision(1, simulate=True, trusted=False,
+                      metrics={"pd_cpu_utilization_per_node": 0.10}),
+        ])
+        simulated = {1: SimpleNamespace(pd_cpu_utilization_per_node=0.95)}
+        cell = build_surrogates(report, simulated)[0]
+        assert cell.anchors == []
+        assert not cell.corrected
+        assert cell.tag == "surrogate (analytic only)"
+        assert math.isclose(
+            cell.metrics["pd_cpu_utilization_per_node"], 0.30
+        )
+
+    def test_nan_simulated_anchor_skipped(self):
+        report = _report([
+            _decision(0, simulate=False,
+                      metrics={"monitoring_latency_forwarding": 100.0}),
+            _decision(1, simulate=True,
+                      metrics={"monitoring_latency_forwarding": 100.0}),
+        ])
+        simulated = {
+            1: SimpleNamespace(monitoring_latency_forwarding=float("nan"))
+        }
+        cell = build_surrogates(report, simulated)[0]
+        assert math.isclose(
+            cell.metrics["monitoring_latency_forwarding"], 100.0
+        )
+
+
+class TestSurrogateCell:
+    def _cell(self):
+        report = _report([
+            _decision(0, simulate=False,
+                      metrics={"pd_cpu_utilization_per_node": 0.30}),
+            _decision(1, simulate=True,
+                      metrics={"pd_cpu_utilization_per_node": 0.10}),
+        ])
+        simulated = {1: SimpleNamespace(pd_cpu_utilization_per_node=0.12)}
+        return build_surrogates(report, simulated)[0]
+
+    def test_metric_attribute_access(self):
+        cell = self._cell()
+        assert cell.pd_cpu_utilization_per_node == cell.metrics[
+            "pd_cpu_utilization_per_node"
+        ]
+
+    def test_unknown_metric_raises_attribute_error(self):
+        cell = self._cell()
+        with pytest.raises(AttributeError, match="analytic model"):
+            cell.no_such_metric
+
+    def test_only_pruned_cells_get_surrogates(self):
+        report = _report([
+            _decision(0, simulate=False, metrics={"m": 1.0}),
+            _decision(1, simulate=True, metrics={"m": 1.0}),
+        ])
+        out = build_surrogates(report, {1: SimpleNamespace(m=1.0)})
+        assert set(out) == {0}
